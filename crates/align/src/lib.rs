@@ -1,0 +1,20 @@
+//! # dibella-align — seed-and-extend pairwise alignment
+//!
+//! diBELLA 2D follows every candidate overlap (a nonzero of `C = A·Aᵀ`) with a
+//! "computationally intensive seed-and-extend pairwise alignment" using SeqAn
+//! (Section IV-A/IV-D).  This crate is the SeqAn substitute: a gapped x-drop
+//! extension aligner ([`xdrop`]) seeded at a shared k-mer, plus the
+//! classification of the resulting alignment into the paper's overlap
+//! vocabulary ([`classify`]): contained overlaps, the four bidirected
+//! dovetail edge types of Figure 1, and their overhang (suffix) lengths —
+//! the two quantities the transitive reduction stores in `R` (Section IV-E).
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod scoring;
+pub mod xdrop;
+
+pub use classify::{classify_alignment, BidirectedDir, OverlapClass, PairAlignment};
+pub use scoring::{AlignmentConfig, ScoringScheme};
+pub use xdrop::{align_seed_pair, xdrop_extend, ExtendResult};

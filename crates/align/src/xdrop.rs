@@ -1,0 +1,315 @@
+//! Gapped x-drop seed extension (the SeqAn `extendSeed` substitute).
+//!
+//! Given a shared k-mer seed between two reads, the aligner extends the seed
+//! to the left and to the right with a banded dynamic program that abandons
+//! cells whose score falls more than `xdrop` below the best score seen — the
+//! classic BLAST-style gapped x-drop extension.  The band adapts to the data:
+//! with the default linear-gap scoring the live band stays within roughly
+//! `2·xdrop` columns of the optimal path, so extension over a full long-read
+//! overlap costs `O(overlap · xdrop)`.
+
+use crate::classify::PairAlignment;
+use crate::scoring::{AlignmentConfig, ScoringScheme};
+use dibella_seq::{DnaSeq, Strand};
+
+/// Result of extending in one direction: the best score and how far the
+/// extension reached into each sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtendResult {
+    /// Best score reached (0 means no profitable extension).
+    pub score: i32,
+    /// Number of bases of the first sequence consumed at the best score.
+    pub ext_a: usize,
+    /// Number of bases of the second sequence consumed at the best score.
+    pub ext_b: usize,
+}
+
+/// Extend an alignment from position 0 of `a` and `b` simultaneously, with a
+/// gapped x-drop dynamic program.  Returns the best-scoring end points.
+pub fn xdrop_extend(a: &[u8], b: &[u8], scoring: ScoringScheme, xdrop: i32) -> ExtendResult {
+    let neg = i32::MIN / 4;
+    let m = b.len();
+    let mut best = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+
+    // The DP row for the current i, stored over the live column window
+    // [lo, lo + vals.len()).
+    let mut lo = 0usize;
+    let mut vals: Vec<i32> = Vec::new();
+
+    // Row 0: leading gaps in `a`.
+    {
+        let mut j = 0usize;
+        while j <= m {
+            let sc = j as i32 * scoring.gap;
+            if sc < best - xdrop {
+                break;
+            }
+            vals.push(sc);
+            j += 1;
+        }
+    }
+    if vals.is_empty() {
+        return ExtendResult { score: 0, ext_a: 0, ext_b: 0 };
+    }
+
+    for i in 1..=a.len() {
+        let prev_lo = lo;
+        let prev = std::mem::take(&mut vals);
+        let prev_hi = prev_lo + prev.len() - 1;
+        let get_prev = |j: usize| -> i32 {
+            if (prev_lo..=prev_hi).contains(&j) {
+                prev[j - prev_lo]
+            } else {
+                neg
+            }
+        };
+
+        // The live window can only extend one column right of the previous row.
+        let new_lo = prev_lo;
+        let new_hi = (prev_hi + 1).min(m);
+        let mut new_vals: Vec<i32> = Vec::with_capacity(new_hi - new_lo + 1);
+        for j in new_lo..=new_hi {
+            let mut sc = neg;
+            if j >= 1 {
+                let diag = get_prev(j - 1);
+                if diag > neg {
+                    let sub = if a[i - 1] == b[j - 1] {
+                        scoring.match_score
+                    } else {
+                        scoring.mismatch
+                    };
+                    sc = sc.max(diag + sub);
+                }
+            }
+            let up = get_prev(j);
+            if up > neg {
+                sc = sc.max(up + scoring.gap);
+            }
+            if j > new_lo {
+                let left = *new_vals.last().unwrap();
+                if left > neg {
+                    sc = sc.max(left + scoring.gap);
+                }
+            }
+            if sc < best - xdrop {
+                sc = neg;
+            } else if sc > best {
+                best = sc;
+                best_i = i;
+                best_j = j;
+            }
+            new_vals.push(sc);
+        }
+
+        // Trim dead cells from both ends of the window; stop if nothing is live.
+        match new_vals.iter().position(|&v| v > neg) {
+            None => return ExtendResult { score: best, ext_a: best_i, ext_b: best_j },
+            Some(first) => {
+                let last = new_vals.iter().rposition(|&v| v > neg).unwrap();
+                lo = new_lo + first;
+                vals = new_vals[first..=last].to_vec();
+            }
+        }
+    }
+    ExtendResult { score: best, ext_a: best_i, ext_b: best_j }
+}
+
+/// Align read `v` against read `h` starting from a shared-k-mer seed.
+///
+/// `seed_v` and `seed_h` are the k-mer start positions on `v` and on the
+/// *oriented* `h` (reverse-complemented when `strand == Reverse`); `k` is the
+/// seed length.  The seed region is scored as `k` matches and the alignment is
+/// extended with [`xdrop_extend`] on both sides.
+pub fn align_seed_pair(
+    v: &DnaSeq,
+    h_oriented: &DnaSeq,
+    seed_v: usize,
+    seed_h: usize,
+    k: usize,
+    strand: Strand,
+    config: &AlignmentConfig,
+) -> PairAlignment {
+    assert!(seed_v + k <= v.len(), "seed exceeds read v");
+    assert!(seed_h + k <= h_oriented.len(), "seed exceeds read h");
+    let scoring = config.scoring;
+
+    // Right extension over the suffixes beyond the seed.
+    let right = xdrop_extend(
+        &v.codes()[seed_v + k..],
+        &h_oriented.codes()[seed_h + k..],
+        scoring,
+        config.xdrop,
+    );
+    // Left extension over the reversed prefixes before the seed.
+    let v_prefix: Vec<u8> = v.codes()[..seed_v].iter().rev().copied().collect();
+    let h_prefix: Vec<u8> = h_oriented.codes()[..seed_h].iter().rev().copied().collect();
+    let left = xdrop_extend(&v_prefix, &h_prefix, scoring, config.xdrop);
+
+    let score = left.score + right.score + (k as i32) * scoring.match_score;
+    PairAlignment {
+        score,
+        beg_v: seed_v - left.ext_a,
+        end_v: seed_v + k + right.ext_a,
+        beg_h: seed_h - left.ext_b,
+        end_h: seed_h + k + right.ext_b,
+        strand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn default_scoring() -> ScoringScheme {
+        ScoringScheme::default()
+    }
+
+    #[test]
+    fn identical_sequences_extend_fully() {
+        let a = seq("ACGTACGTACGTACGT");
+        let r = xdrop_extend(a.codes(), a.codes(), default_scoring(), 10);
+        assert_eq!(r.score, 16);
+        assert_eq!(r.ext_a, 16);
+        assert_eq!(r.ext_b, 16);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero_extension() {
+        let a = seq("ACGT");
+        let empty: [u8; 0] = [];
+        let r = xdrop_extend(a.codes(), &empty, default_scoring(), 10);
+        assert_eq!(r, ExtendResult { score: 0, ext_a: 0, ext_b: 0 });
+        let r2 = xdrop_extend(&empty, &empty, default_scoring(), 10);
+        assert_eq!(r2.score, 0);
+    }
+
+    #[test]
+    fn extension_stops_at_divergence() {
+        // 10 matching bases then complete divergence (A vs T repeated).
+        let a = seq("ACGTACGTACAAAAAAAAAAAAAAAAAAAA");
+        let b = seq("ACGTACGTACTTTTTTTTTTTTTTTTTTTT");
+        let r = xdrop_extend(a.codes(), b.codes(), default_scoring(), 5);
+        assert_eq!(r.score, 10);
+        assert_eq!(r.ext_a, 10);
+        assert_eq!(r.ext_b, 10);
+    }
+
+    #[test]
+    fn single_mismatch_is_absorbed() {
+        let a = seq("ACGTACGTACGTACGTACGT");
+        let mut codes = a.codes().to_vec();
+        codes[10] = (codes[10] + 1) % 4;
+        let b = DnaSeq::from_codes(codes);
+        let r = xdrop_extend(a.codes(), b.codes(), default_scoring(), 20);
+        assert_eq!(r.ext_a, 20);
+        assert_eq!(r.ext_b, 20);
+        assert_eq!(r.score, 19 - 1);
+    }
+
+    #[test]
+    fn indel_is_absorbed_with_gap_penalty() {
+        // b has one extra base inserted in the middle.
+        let a = seq("ACGTACGTACGTACGTACGT");
+        let b = seq("ACGTACGTACAGTACGTACGT");
+        let r = xdrop_extend(a.codes(), b.codes(), default_scoring(), 20);
+        assert_eq!(r.ext_a, 20);
+        assert_eq!(r.ext_b, 21);
+        assert_eq!(r.score, 20 - 1);
+    }
+
+    #[test]
+    fn xdrop_limits_how_far_a_bad_region_is_crossed() {
+        // 5 matches, then 10 mismatches, then 30 matches.  With xdrop = 5 the
+        // extension must stop at the divergence; with a large xdrop it crosses
+        // the bad region and reaps the matches on the far side.
+        let good = "ACGTA";
+        let bad_a = "A".repeat(10);
+        let bad_b = "C".repeat(10);
+        let tail = "GTACGTACGTACGTACGTACGTACGTACGT";
+        let a = seq(&format!("{good}{bad_a}{tail}"));
+        let b = seq(&format!("{good}{bad_b}{tail}"));
+        let tight = xdrop_extend(a.codes(), b.codes(), default_scoring(), 5);
+        assert_eq!(tight.score, 5);
+        assert_eq!(tight.ext_a, 5);
+        let loose = xdrop_extend(a.codes(), b.codes(), default_scoring(), 100);
+        assert_eq!(loose.score, 5 - 10 + 30);
+        assert_eq!(loose.ext_a, 45);
+    }
+
+    #[test]
+    fn seed_pair_alignment_on_exact_overlap() {
+        // v = genome[0..60), h = genome[30..90): a 30-base overlap.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let genome = DnaSeq::from_codes((0..90).map(|_| rng.gen_range(0..4u8)).collect());
+        let v = genome.slice(0, 60);
+        let h = genome.slice(30, 90);
+        // Shared seed: genome[40..50) = v[40..50) = h[10..20).
+        let cfg = AlignmentConfig::for_tests();
+        let aln = align_seed_pair(&v, &h, 40, 10, 10, Strand::Forward, &cfg);
+        assert_eq!(aln.beg_v, 30);
+        assert_eq!(aln.end_v, 60);
+        assert_eq!(aln.beg_h, 0);
+        assert_eq!(aln.end_h, 30);
+        assert_eq!(aln.score, 30);
+        assert_eq!(aln.strand, Strand::Forward);
+    }
+
+    #[test]
+    fn seed_pair_alignment_tolerates_errors() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let genome = DnaSeq::from_codes((0..600).map(|_| rng.gen_range(0..4u8)).collect());
+        let v = genome.slice(0, 400);
+        let h_template = genome.slice(200, 600);
+        // Introduce ~5% substitution errors into h.
+        let mut h_codes = h_template.codes().to_vec();
+        for idx in (0..h_codes.len()).step_by(20) {
+            h_codes[idx] = (h_codes[idx] + 1) % 4;
+        }
+        let h = DnaSeq::from_codes(h_codes);
+        // Find an exact shared 12-mer to seed from: search a window of v in h.
+        // (Position 241 avoids the substituted positions 240 and 260.)
+        let seed_v = 241;
+        let window = v.slice(seed_v, seed_v + 12).to_ascii();
+        let h_ascii = h.to_ascii();
+        let seed_h = h_ascii.find(&window).expect("seed window should exist in h");
+        let cfg = AlignmentConfig::for_tests();
+        let aln = align_seed_pair(&v, &h, seed_v, seed_h, 12, Strand::Forward, &cfg);
+        // The overlap region is ~200 bases; the alignment should span most of it.
+        assert!(aln.end_v - aln.beg_v > 150, "aligned span too short: {aln:?}");
+        assert!(aln.score > 100, "score too low: {aln:?}");
+        // And it should reach (close to) the ends of the overlapping region.
+        assert!(aln.end_v >= 395, "alignment should reach the end of v: {aln:?}");
+        assert!(aln.beg_h <= 5, "alignment should reach the start of h: {aln:?}");
+    }
+
+    #[test]
+    fn reverse_complement_overlap_aligns_on_oriented_h() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let genome = DnaSeq::from_codes((0..300).map(|_| rng.gen_range(0..4u8)).collect());
+        let v = genome.slice(0, 200);
+        let h = genome.slice(100, 300).reverse_complement(); // stored reverse-complemented
+        let h_oriented = h.reverse_complement(); // orient back for alignment
+        let seed_v = 150;
+        let window = v.slice(seed_v, seed_v + 10).to_ascii();
+        let seed_h = h_oriented.to_ascii().find(&window).unwrap();
+        let cfg = AlignmentConfig::for_tests();
+        let aln = align_seed_pair(&v, &h_oriented, seed_v, seed_h, 10, Strand::Reverse, &cfg);
+        assert_eq!(aln.strand, Strand::Reverse);
+        assert_eq!(aln.end_v - aln.beg_v, 100, "the 100-base overlap should align fully");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed exceeds read v")]
+    fn out_of_range_seed_panics() {
+        let v = seq("ACGT");
+        let h = seq("ACGTACGT");
+        let _ = align_seed_pair(&v, &h, 3, 0, 5, Strand::Forward, &AlignmentConfig::for_tests());
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the x-drop seed-and-extend aligner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dibella_align::{align_seed_pair, xdrop_extend, AlignmentConfig, ScoringScheme};
+use dibella_seq::simulate::apply_errors;
+use dibella_seq::{DnaSeq, Strand};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn overlapping_pair(len: usize, overlap: usize, error: f64, seed: u64) -> (DnaSeq, DnaSeq) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let genome =
+        DnaSeq::from_codes((0..2 * len - overlap).map(|_| rng.gen_range(0..4u8)).collect());
+    let v = apply_errors(&genome.slice(0, len), error, &mut rng);
+    let h = apply_errors(&genome.slice(len - overlap, 2 * len - overlap), error, &mut rng);
+    (v, h)
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alignment");
+    group.sample_size(20);
+
+    for &(len, error) in &[(2_000usize, 0.0f64), (2_000, 0.15), (8_000, 0.15)] {
+        let (v, h) = overlapping_pair(len, len / 2, error, 11);
+        let cfg = AlignmentConfig::for_error_rate(error.max(0.01));
+        // Locate an exact shared 17-mer once, outside the measured loop.
+        let h_ascii = h.to_ascii();
+        let mut seed = None;
+        for start in (len - len / 4..len - 20).step_by(3) {
+            let window = v.slice(start, start + 17).to_ascii();
+            if let Some(pos) = h_ascii.find(&window) {
+                seed = Some((start, pos));
+                break;
+            }
+        }
+        let Some((sv, sh)) = seed else { continue };
+        let id = format!("len{len}_err{error}");
+        group.bench_with_input(BenchmarkId::new("align_seed_pair", id), &len, |bencher, _| {
+            bencher.iter(|| align_seed_pair(&v, &h, sv, sh, 17, Strand::Forward, &cfg));
+        });
+    }
+
+    // Raw extension throughput on identical sequences (upper bound).
+    let mut rng = SmallRng::seed_from_u64(5);
+    let s = DnaSeq::from_codes((0..10_000).map(|_| rng.gen_range(0..4u8)).collect());
+    group.bench_function("xdrop_extend_identical_10k", |bencher| {
+        bencher.iter(|| xdrop_extend(s.codes(), s.codes(), ScoringScheme::default(), 49))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

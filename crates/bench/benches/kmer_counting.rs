@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks for the two-pass distributed k-mer counter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dibella_dist::CommStats;
+use dibella_seq::{count_kmers_distributed, count_kmers_serial, DatasetSpec, KmerSelection};
+
+fn bench_kmer_counting(c: &mut Criterion) {
+    let ds = DatasetSpec::EColiLike.generate_with_length(20_000, 3);
+    let selection = KmerSelection::with_bella_bound(17, ds.achieved_depth(), ds.config.error_rate);
+
+    let mut group = c.benchmark_group("kmer_counting");
+    group.sample_size(10);
+
+    group.bench_function("serial", |bencher| {
+        bencher.iter(|| count_kmers_serial(&ds.reads, &selection))
+    });
+    for p in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("distributed", p), &p, |bencher, &p| {
+            bencher.iter(|| {
+                let stats = CommStats::new();
+                count_kmers_distributed(&ds.reads, &selection, p, &stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmer_counting);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the SpGEMM kernels: local Gustavson,
+//! 2D Sparse SUMMA and the 1D outer-product algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dibella_dist::{CommPhase, CommStats, ProcessGrid};
+use dibella_sparse::outer1d::outer1d_spgemm;
+use dibella_sparse::{local_spgemm, summa, CsrMatrix, DistMat2D, PlusTimes, Triples};
+
+fn random_matrix(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix<i64> {
+    let mut t = Triples::new(nrows, ncols);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    while seen.len() < nnz.min(nrows * ncols / 2) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = (state >> 33) as usize % nrows;
+        let c = (state >> 13) as usize % ncols;
+        if seen.insert((r, c)) {
+            t.push(r, c, ((state % 19) as i64) - 9);
+        }
+    }
+    CsrMatrix::from_triples(&t)
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let n = 2_000;
+    let a = random_matrix(n, n, 20 * n, 7);
+    let b = random_matrix(n, n, 20 * n, 8);
+
+    let mut group = c.benchmark_group("spgemm");
+    group.sample_size(10);
+
+    group.bench_function("local_gustavson_2k_x_20nnz", |bencher| {
+        bencher.iter(|| local_spgemm::<PlusTimes<i64>>(&a, &b))
+    });
+
+    for p in [4usize, 16] {
+        let grid = ProcessGrid::square(p);
+        let da = DistMat2D::from_triples(grid, &a.to_triples());
+        let db = DistMat2D::from_triples(grid, &b.to_triples());
+        group.bench_with_input(BenchmarkId::new("summa_2d", p), &p, |bencher, _| {
+            bencher.iter(|| {
+                let stats = CommStats::new();
+                summa::<PlusTimes<i64>>(&da, &db, &stats, CommPhase::OverlapDetection)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("outer_product_1d", p), &p, |bencher, _| {
+            bencher.iter(|| {
+                let stats = CommStats::new();
+                outer1d_spgemm::<PlusTimes<i64>>(&a, &b, p, &stats, CommPhase::OverlapDetection)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

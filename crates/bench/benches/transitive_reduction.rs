@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the transitive reduction implementations:
+//! Algorithm 2 (parallel, matrix-based), Myers' sequential algorithm, and the
+//! SORA-style vertex-centric baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dibella_dist::{CommStats, ProcessGrid};
+use dibella_sparse::CsrMatrix;
+use dibella_strgraph::fixtures::{tiling_overlap_graph, to_dist};
+use dibella_strgraph::{
+    myers_transitive_reduction, sora_transitive_reduction, transitive_reduction,
+    TransitiveReductionConfig,
+};
+
+fn bench_transitive_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitive_reduction");
+    group.sample_size(10);
+
+    for &n in &[1_000usize, 5_000] {
+        let span = 8;
+        let triples = tiling_overlap_graph(n, span, true);
+        let local = CsrMatrix::from_triples(&triples);
+        let cfg = TransitiveReductionConfig { fuzz: 60, max_iterations: 16 };
+
+        group.bench_with_input(BenchmarkId::new("algorithm2_parallel", n), &n, |bencher, _| {
+            let dist = to_dist(&triples, ProcessGrid::square(16));
+            bencher.iter(|| {
+                let comm = CommStats::new();
+                transitive_reduction(&dist, &cfg, &comm)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("myers_sequential", n), &n, |bencher, _| {
+            bencher.iter(|| myers_transitive_reduction(&local, cfg.fuzz))
+        });
+        group.bench_with_input(BenchmarkId::new("sora_vertex_centric", n), &n, |bencher, _| {
+            bencher.iter(|| sora_transitive_reduction(&local, cfg.fuzz))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_reduction);
+criterion_main!(benches);

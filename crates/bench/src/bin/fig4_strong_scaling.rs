@@ -1,0 +1,65 @@
+//! Figure 4 — strong scaling of diBELLA 2D on two datasets.
+//!
+//! The paper plots total runtime against node count (32 MPI ranks per node)
+//! for C. elegans (P = 32, 72, 128 nodes) and H. sapiens (P = 128, 200, 288,
+//! 338 nodes), reporting 68–92% parallel efficiency.  This harness runs the
+//! pipeline at each virtual process count, measures the per-phase
+//! communication, and reports the projected distributed runtime and the
+//! parallel efficiency relative to the smallest configuration.
+//!
+//! ```bash
+//! cargo run --release -p dibella-bench --bin fig4_strong_scaling
+//! ```
+
+use dibella_bench::{benchmark_dataset, fmt, print_header, print_row, SimulatedBreakdown};
+use dibella_dist::CommStats;
+use dibella_pipeline::{run_dibella_2d_on_reads, PipelineConfig, StageTimings};
+use dibella_seq::DatasetSpec;
+
+fn main() {
+    println!("Figure 4 reproduction — diBELLA 2D strong scaling\n");
+    let cases = [
+        (DatasetSpec::CElegansLike, 81u64, vec![32usize * 32, 72 * 32, 128 * 32]),
+        (DatasetSpec::HSapiensLike, 82, vec![128usize * 32, 200 * 32, 288 * 32, 338 * 32]),
+    ];
+
+    for (spec, seed, rank_counts) in cases {
+        let ds = benchmark_dataset(spec, seed);
+        println!(
+            "{} — {} reads, {:.0} bp mean read length, {:.1}x depth",
+            ds.label,
+            ds.num_reads(),
+            ds.mean_read_length(),
+            ds.achieved_depth()
+        );
+        print_header(&[
+            "ranks P", "grid", "measured (s)", "proj. T(P) s", "speed-up", "par. eff. %",
+        ]);
+
+        let mut baseline: Option<(usize, f64)> = None;
+        for &p in &rank_counts {
+            let config = PipelineConfig::for_benchmark(17, ds.config.error_rate, p);
+            let comm = CommStats::new();
+            let out = run_dibella_2d_on_reads(&ds.reads, &config, &comm);
+            let projected = SimulatedBreakdown::project(&out.timings, &out.comm, out.grid.nprocs());
+            let total = projected.total();
+            let (p0, t0) = *baseline.get_or_insert((out.grid.nprocs(), total));
+            let eff = StageTimings::parallel_efficiency(t0, p0, total, out.grid.nprocs());
+            print_row(&[
+                p.to_string(),
+                format!("{}x{}", out.grid.rows(), out.grid.cols()),
+                fmt(out.timings.total()),
+                fmt(total),
+                format!("{:.2}x", t0 / total),
+                format!("{:.0}", eff * 100.0),
+            ]);
+        }
+        println!();
+    }
+
+    println!("Paper (Figure 4): near-linear scaling with >= 80% parallel efficiency for");
+    println!("H. sapiens (peak 92% on Summit) and 68-83% for C. elegans.");
+    println!("'measured' is this host's wall clock (constant by construction); 'proj. T(P)'");
+    println!("divides the measured per-stage compute across ranks and adds the per-rank");
+    println!("communication time derived from the measured volumes (see EXPERIMENTS.md).");
+}

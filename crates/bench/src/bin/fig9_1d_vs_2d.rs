@@ -1,0 +1,75 @@
+//! Figure 9 — diBELLA 2D vs diBELLA 1D.
+//!
+//! The paper compares the total runtime of the two pipelines (subtracting the
+//! transitive reduction from diBELLA 2D, which the 1D pipeline lacks) on
+//! Summit, finding 1.5–1.9× (C. elegans) and 1.2–1.3× (H. sapiens) in favour
+//! of 2D.  This harness runs both pipelines on the same simulated datasets at
+//! each virtual process count and compares the projected runtimes.
+//!
+//! ```bash
+//! cargo run --release -p dibella-bench --bin fig9_1d_vs_2d
+//! ```
+
+use dibella_bench::{benchmark_dataset, comm_time_secs, fmt, print_header, print_row, SimulatedBreakdown};
+use dibella_dist::{CommPhase, CommStats};
+use dibella_pipeline::{run_dibella_1d, run_dibella_2d_on_reads, PipelineConfig};
+use dibella_seq::DatasetSpec;
+
+fn main() {
+    println!("Figure 9 reproduction — diBELLA 2D vs diBELLA 1D (TR excluded from 2D)\n");
+    let cases = [
+        (DatasetSpec::CElegansLike, 95u64, vec![32usize * 32, 72 * 32, 128 * 32]),
+        (DatasetSpec::HSapiensLike, 96, vec![128usize * 32, 200 * 32, 338 * 32]),
+    ];
+
+    for (spec, seed, rank_counts) in cases {
+        let ds = benchmark_dataset(spec, seed);
+        println!("{}", ds.label);
+        print_header(&["ranks P", "2D T(P) s", "1D T(P) s", "2D speed-up"]);
+        for &p in &rank_counts {
+            let config = PipelineConfig::for_benchmark(17, ds.config.error_rate, p);
+
+            let comm2d = CommStats::new();
+            let out2d = run_dibella_2d_on_reads(&ds.reads, &config, &comm2d);
+            let proj2d =
+                SimulatedBreakdown::project(&out2d.timings, &out2d.comm, out2d.grid.nprocs());
+            let t2d = proj2d.total_without_tr();
+
+            let comm1d = CommStats::new();
+            let out1d = run_dibella_1d(&ds.reads, &config, &comm1d);
+            // Project the 1D pipeline: same compute scaling, 1D communication.
+            let pf = p as f64;
+            let t1d = out1d.timings.alignment / pf
+                + out1d.timings.read_fastq / pf.min(8.0)
+                + out1d.timings.count_kmer / pf
+                + comm_time_secs(
+                    out1d.comm.phase(CommPhase::KmerCounting).words as f64 / pf,
+                    out1d.comm.phase(CommPhase::KmerCounting).messages as f64 / pf,
+                )
+                + out1d.timings.create_spmat / pf
+                + out1d.timings.spgemm / pf
+                + comm_time_secs(
+                    out1d.comm.phase(CommPhase::OverlapDetection).words as f64 / pf,
+                    out1d.comm.phase(CommPhase::OverlapDetection).messages as f64 / pf,
+                )
+                + comm_time_secs(
+                    out1d.comm.phase(CommPhase::ReadExchange).words as f64 / pf,
+                    out1d.comm.phase(CommPhase::ReadExchange).messages as f64 / pf,
+                );
+
+            print_row(&[
+                p.to_string(),
+                fmt(t2d),
+                fmt(t1d),
+                format!("{:.2}x", t1d / t2d),
+            ]);
+        }
+        println!();
+    }
+
+    println!("Paper (Figure 9): both pipelines scale near-linearly; diBELLA 2D is");
+    println!("consistently faster, by 1.5-1.9x (avg 1.7x) on C. elegans and 1.2-1.3x");
+    println!("(avg 1.2x) on H. sapiens.  The advantage comes from the lower overlap-");
+    println!("detection and read-exchange communication of the 2D decomposition, which is");
+    println!("exactly what the projected runtimes above are built from.");
+}

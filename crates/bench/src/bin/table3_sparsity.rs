@@ -1,0 +1,50 @@
+//! Table III — experimental sparsity values of diBELLA 2D.
+//!
+//! For each (scaled) dataset the harness reports the depth `d`, the candidate
+//! matrix density `c`, the overlapper inefficiency `c/2d`, and the overlap
+//! matrix density `r`, mirroring Table III of the paper.
+//!
+//! ```bash
+//! cargo run --release -p dibella-bench --bin table3_sparsity
+//! ```
+
+use dibella_bench::{benchmark_dataset, fmt, print_header, print_row};
+use dibella_dist::CommStats;
+use dibella_pipeline::{run_dibella_2d_on_reads, PipelineConfig};
+use dibella_seq::DatasetSpec;
+
+fn main() {
+    println!("Table III reproduction — sparsity of the candidate (C) and overlap (R) matrices\n");
+    print_header(&["dataset", "depth d", "C density c", "ineff. c/2d", "R density r"]);
+
+    let presets = [
+        (DatasetSpec::EColiLike, 31u64),
+        (DatasetSpec::CElegansLike, 32),
+        (DatasetSpec::HSapiensLike, 33),
+    ];
+    for (spec, seed) in presets {
+        let ds = benchmark_dataset(spec, seed);
+        let config = PipelineConfig::for_benchmark(17, ds.config.error_rate, 16);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &config, &comm);
+        let d = ds.achieved_depth();
+        let c = out.overlap_stats.c_density;
+        let r = out.overlap_stats.r_density;
+        print_row(&[
+            ds.label.clone(),
+            fmt(d),
+            fmt(c),
+            fmt(c / (2.0 * d)),
+            fmt(r),
+        ]);
+    }
+
+    println!("\nPaper (Table III):");
+    println!("  E. coli      d=30   c=145.9    c/2d=2.4    r=6.4");
+    println!("  C. elegans   d=40   c=1579.7   c/2d=19.7   r=8.1");
+    println!("  H. sapiens   d=10   c=1207.7   c/2d=60.4   r=1.3");
+    println!("\nThe scaled synthetic genomes are far less repetitive than real eukaryotic");
+    println!("genomes, so the absolute inefficiency factors are smaller; the orderings");
+    println!("(c grows with depth, r stays a small constant, c >> 2d for noisy data) are");
+    println!("the properties the communication analysis relies on.");
+}

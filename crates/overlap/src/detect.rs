@@ -1,0 +1,449 @@
+//! diBELLA 2D overlap detection: `C = A·Aᵀ`, pairwise alignment, pruning.
+//!
+//! This module covers lines 4–8 of Algorithm 1: the candidate overlap matrix
+//! is produced by Sparse SUMMA with the shared-k-mer semiring, every candidate
+//! pair is aligned with the x-drop aligner seeded at a stored shared k-mer,
+//! and pairs whose alignment is too weak — or which turn out to be contained
+//! or purely internal matches — are pruned.  The surviving entries form the
+//! overlap matrix `R`, annotated with the overhang length and bidirected
+//! direction that transitive reduction needs.
+
+use crate::amatrix::build_a_matrix;
+use crate::semiring::OverlapSemiring;
+use crate::types::{CommonKmers, KmerOccurrence, OverlapEdge};
+use dibella_align::{align_seed_pair, classify_alignment, AlignmentConfig, OverlapClass};
+use dibella_dist::{BlockDist, CommPhase, CommStats, ProcessGrid};
+use dibella_seq::{KmerTable, ReadSet, Strand};
+use dibella_sparse::{summa_with_words, DistMat2D, Triples};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration of the overlap-detection stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapConfig {
+    /// k-mer (seed) length; the paper uses 17.
+    pub k: usize,
+    /// Minimum number of shared reliable k-mers for a pair to be aligned.
+    pub min_shared_kmers: u32,
+    /// Alignment settings.
+    pub alignment: AlignmentConfig,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        Self { k: 17, min_shared_kmers: 1, alignment: AlignmentConfig::default() }
+    }
+}
+
+impl OverlapConfig {
+    /// Settings scaled down for the short synthetic reads used in tests.
+    pub fn for_tests(k: usize) -> Self {
+        Self { k, min_shared_kmers: 1, alignment: AlignmentConfig::for_tests() }
+    }
+}
+
+/// Counters describing one overlap-detection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverlapStats {
+    /// Candidate pairs (upper triangle of `C`) examined.
+    pub candidate_pairs: usize,
+    /// Pairs actually aligned (shared-k-mer filter applied).
+    pub aligned_pairs: usize,
+    /// Pairs that produced a usable dovetail overlap.
+    pub dovetail: usize,
+    /// Pairs discarded because one read contains the other.
+    pub contained: usize,
+    /// Reads found to be contained in some other read; all their edges are
+    /// dropped from `R` (they can be reintroduced after layout, Section II).
+    pub contained_reads: usize,
+    /// Pairs discarded as internal (repeat-induced) matches.
+    pub internal: usize,
+    /// Pairs discarded for a low alignment score or a short overlap.
+    pub below_threshold: usize,
+    /// `c` — average nonzeros per row of `C` (both triangles, Table III).
+    pub c_density: f64,
+    /// `r` — average nonzeros per row of `R` (Table III).
+    pub r_density: f64,
+}
+
+/// The matrices produced by an overlap-detection run.
+#[derive(Debug, Clone)]
+pub struct OverlapOutput {
+    /// The occurrence matrix `A` (reads × k-mers).
+    pub a: DistMat2D<KmerOccurrence>,
+    /// The candidate overlap matrix `C` (diagonal removed).
+    pub candidates: DistMat2D<CommonKmers>,
+    /// The overlap matrix `R` after alignment and pruning.
+    pub overlaps: DistMat2D<OverlapEdge>,
+    /// Counters for this run.
+    pub stats: OverlapStats,
+}
+
+/// Word cost of shipping one read of `len` bases (2-bit packed plus a header
+/// word), used consistently by the read-exchange accounting and by the
+/// analytic model it is compared against.
+pub fn read_exchange_words(len: usize) -> u64 {
+    (len as u64).div_ceil(32) + 1
+}
+
+/// Compute the candidate overlap matrix `C = A·Aᵀ` with Sparse SUMMA and
+/// remove the diagonal (a read trivially shares all its k-mers with itself).
+pub fn detect_candidates_2d(
+    a: &DistMat2D<KmerOccurrence>,
+    stats: &CommStats,
+) -> DistMat2D<CommonKmers> {
+    let at = a.transpose();
+    // A k-mer occurrence travels as (column index, position+orientation): 2 words.
+    let c = summa_with_words::<OverlapSemiring>(a, &at, stats, CommPhase::OverlapDetection, 2, 2);
+    c.filter(|r, col, _| r != col)
+}
+
+/// Account for the sequence exchange of the 2D algorithm (Section V-C).
+///
+/// Reads start in a 1D block distribution (parallel FASTA I/O); every grid
+/// rank then needs the full range of reads of its block row and block column,
+/// i.e. about `2n/√P` reads costing `~2nl/√P` words, fetched from at most
+/// `√P`-ish source ranks.
+pub fn account_read_exchange_2d(reads: &ReadSet, grid: ProcessGrid, stats: &CommStats) {
+    let p = grid.nprocs();
+    let init = BlockDist::new(reads.len(), p);
+    let row_dist = BlockDist::new(reads.len(), grid.rows());
+    let col_dist = BlockDist::new(reads.len(), grid.cols());
+    for rank in grid.ranks() {
+        let (bi, bj) = grid.coords(rank);
+        let mut needed: BTreeSet<usize> = row_dist.range(bi).collect();
+        needed.extend(col_dist.range(bj));
+        let own = init.range(rank);
+        let mut words = 0u64;
+        let mut sources: BTreeSet<usize> = BTreeSet::new();
+        for idx in needed {
+            if own.contains(&idx) {
+                continue;
+            }
+            words += read_exchange_words(reads.seq(idx).len());
+            sources.insert(init.owner(idx));
+        }
+        stats.record(CommPhase::ReadExchange, words, sources.len() as u64);
+        stats.record_rank_max(CommPhase::ReadExchange, words);
+    }
+}
+
+/// The classification outcome of one aligned candidate pair.
+enum PairOutcome {
+    Skipped,
+    BelowThreshold,
+    Internal,
+    /// `contained` is spanned entirely by the other read.
+    Contained { contained: usize },
+    Dovetail { i: usize, j: usize, edge_ij: OverlapEdge, edge_ji: OverlapEdge },
+}
+
+/// Align every candidate pair, classify the alignments, and assemble the
+/// pruned overlap matrix `R`.
+///
+/// Both `(i, j)` and `(j, i)` entries are produced for every surviving
+/// overlap, with mirrored directions and overhangs, so that `R` can be used
+/// directly as the (pattern-symmetric) overlap graph of Algorithm 2.  Reads
+/// found to be contained in another read are removed from the graph entirely
+/// (all their edges are dropped), matching the paper's treatment: "Contained
+/// overlaps ... are discarded during transitive reduction regardless of their
+/// alignment scores.  They may be reintroduced at later stages."
+pub fn align_candidates(
+    reads: &ReadSet,
+    candidates: &DistMat2D<CommonKmers>,
+    config: &OverlapConfig,
+) -> (DistMat2D<OverlapEdge>, OverlapStats) {
+    let mut stats = OverlapStats::default();
+    let n = reads.len();
+
+    // Work on the upper triangle only; every pair is aligned once.
+    let pairs: Vec<(usize, usize, CommonKmers)> = candidates
+        .to_triples()
+        .into_entries()
+        .into_iter()
+        .filter(|(i, j, _)| i < j)
+        .collect();
+    stats.candidate_pairs = pairs.len();
+    stats.c_density = if n > 0 { candidates.nnz() as f64 / n as f64 } else { 0.0 };
+
+    let outcomes: Vec<PairOutcome> = pairs
+        .into_par_iter()
+        .map(|(i, j, common)| {
+            if common.count < config.min_shared_kmers {
+                return PairOutcome::Skipped;
+            }
+            let v = reads.seq(i);
+            let h = reads.seq(j);
+            // Evaluate every stored seed and keep the best-scoring alignment.
+            let mut best: Option<dibella_align::PairAlignment> = None;
+            for seed in &common.seeds {
+                let (h_oriented, strand, seed_h) = if seed.same_strand {
+                    (h.clone(), Strand::Forward, seed.pos_h as usize)
+                } else {
+                    (
+                        h.reverse_complement(),
+                        Strand::Reverse,
+                        h.len() - config.k - seed.pos_h as usize,
+                    )
+                };
+                if seed.pos_v as usize + config.k > v.len() || seed_h + config.k > h_oriented.len()
+                {
+                    continue;
+                }
+                let aln = align_seed_pair(
+                    v,
+                    &h_oriented,
+                    seed.pos_v as usize,
+                    seed_h,
+                    config.k,
+                    strand,
+                    &config.alignment,
+                );
+                if best.as_ref().map_or(true, |b| aln.score > b.score) {
+                    best = Some(aln);
+                }
+            }
+            let Some(aln) = best else { return PairOutcome::Skipped };
+
+            let aligned_len = aln.aligned_len();
+            if aligned_len < config.alignment.min_overlap
+                || aln.score < config.alignment.score_threshold(aligned_len)
+            {
+                return PairOutcome::BelowThreshold;
+            }
+            match classify_alignment(&aln, v.len(), h.len(), &config.alignment) {
+                OverlapClass::Dovetail { dir_vh, dir_hv, suffix_vh, suffix_hv } => {
+                    PairOutcome::Dovetail {
+                        i,
+                        j,
+                        edge_ij: OverlapEdge {
+                            dir: dir_vh.bits(),
+                            suffix: suffix_vh as u32,
+                            score: aln.score,
+                            overlap_len: aligned_len as u32,
+                        },
+                        edge_ji: OverlapEdge {
+                            dir: dir_hv.bits(),
+                            suffix: suffix_hv as u32,
+                            score: aln.score,
+                            overlap_len: aligned_len as u32,
+                        },
+                    }
+                }
+                OverlapClass::Contains => PairOutcome::Contained { contained: j },
+                OverlapClass::ContainedBy => PairOutcome::Contained { contained: i },
+                OverlapClass::Internal => PairOutcome::Internal,
+            }
+        })
+        .collect();
+
+    // First sweep: gather counters and the set of contained reads.
+    let mut contained_reads = vec![false; n];
+    for outcome in &outcomes {
+        match outcome {
+            PairOutcome::Skipped => {}
+            PairOutcome::BelowThreshold => {
+                stats.aligned_pairs += 1;
+                stats.below_threshold += 1;
+            }
+            PairOutcome::Internal => {
+                stats.aligned_pairs += 1;
+                stats.internal += 1;
+            }
+            PairOutcome::Contained { contained } => {
+                stats.aligned_pairs += 1;
+                stats.contained += 1;
+                contained_reads[*contained] = true;
+            }
+            PairOutcome::Dovetail { .. } => {
+                stats.aligned_pairs += 1;
+                stats.dovetail += 1;
+            }
+        }
+    }
+    stats.contained_reads = contained_reads.iter().filter(|&&b| b).count();
+
+    // Second sweep: emit edges whose endpoints both survive.
+    let mut edges: Vec<(usize, usize, OverlapEdge)> = Vec::new();
+    for outcome in outcomes {
+        if let PairOutcome::Dovetail { i, j, edge_ij, edge_ji } = outcome {
+            if contained_reads[i] || contained_reads[j] {
+                continue;
+            }
+            edges.push((i, j, edge_ij));
+            edges.push((j, i, edge_ji));
+        }
+    }
+
+    let triples = Triples::from_entries(n, n, edges);
+    let overlaps = DistMat2D::from_triples(candidates.grid(), &triples);
+    stats.r_density = if n > 0 { overlaps.nnz() as f64 / n as f64 } else { 0.0 };
+    (overlaps, stats)
+}
+
+/// Run the full 2D overlap-detection stage: build `A`, account for the read
+/// exchange, compute `C = A·Aᵀ`, align and prune.
+pub fn run_overlap_2d(
+    reads: &ReadSet,
+    table: &KmerTable,
+    config: &OverlapConfig,
+    grid: ProcessGrid,
+    comm: &CommStats,
+) -> OverlapOutput {
+    let a = build_a_matrix(reads, table, config.k, grid, grid.nprocs());
+    account_read_exchange_2d(reads, grid, comm);
+    let candidates = detect_candidates_2d(&a, comm);
+    let (overlaps, stats) = align_candidates(reads, &candidates, config);
+    OverlapOutput { a, candidates, overlaps, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_align::BidirectedDir;
+    use dibella_seq::{count_kmers_serial, DatasetSpec, KmerSelection, SimulatedDataset};
+
+    fn setup(seed: u64) -> (SimulatedDataset, KmerTable, OverlapConfig) {
+        let ds = DatasetSpec::Tiny.generate(seed);
+        let k = 13;
+        let sel = KmerSelection { k, min_count: 2, max_count: 60 };
+        let table = count_kmers_serial(&ds.reads, &sel);
+        (ds, table, OverlapConfig::for_tests(k))
+    }
+
+    #[test]
+    fn candidate_matrix_is_reads_by_reads_without_diagonal() {
+        let (ds, table, cfg) = setup(1);
+        let grid = ProcessGrid::square(4);
+        let comm = CommStats::new();
+        let a = build_a_matrix(&ds.reads, &table, cfg.k, grid, 4);
+        let c = detect_candidates_2d(&a, &comm);
+        assert_eq!(c.nrows(), ds.reads.len());
+        assert_eq!(c.ncols(), ds.reads.len());
+        assert!(c.nnz() > 0, "a 12x-depth dataset must have candidate overlaps");
+        for (i, j, _) in c.to_triples().iter() {
+            assert_ne!(i, j, "diagonal must be removed");
+        }
+        assert!(comm.words(CommPhase::OverlapDetection) > 0);
+    }
+
+    #[test]
+    fn candidate_matrix_pattern_is_symmetric() {
+        let (ds, table, cfg) = setup(2);
+        let grid = ProcessGrid::square(1);
+        let comm = CommStats::new();
+        let a = build_a_matrix(&ds.reads, &table, cfg.k, grid, 2);
+        let c = detect_candidates_2d(&a, &comm);
+        let local = c.to_local_csr();
+        for (i, j, _) in local.iter() {
+            assert!(local.get(j, i).is_some(), "C({j},{i}) missing for C({i},{j})");
+        }
+    }
+
+    #[test]
+    fn overlap_matrix_entries_mirror_each_other() {
+        let (ds, table, cfg) = setup(3);
+        let grid = ProcessGrid::square(4);
+        let comm = CommStats::new();
+        let out = run_overlap_2d(&ds.reads, &table, &cfg, grid, &comm);
+        assert!(out.overlaps.nnz() > 0, "expected some accepted overlaps");
+        let local = out.overlaps.to_local_csr();
+        for (i, j, edge) in local.iter() {
+            let mirror = local.get(j, i).expect("mirrored entry must exist");
+            assert_eq!(
+                BidirectedDir(edge.dir).reversed(),
+                BidirectedDir(mirror.dir),
+                "directions of ({i},{j}) and ({j},{i}) must be reversals"
+            );
+            assert_eq!(edge.score, mirror.score);
+            assert_eq!(edge.overlap_len, mirror.overlap_len);
+        }
+    }
+
+    #[test]
+    fn accepted_overlaps_correspond_to_true_genome_overlaps() {
+        let (ds, table, cfg) = setup(4);
+        let grid = ProcessGrid::square(1);
+        let comm = CommStats::new();
+        let out = run_overlap_2d(&ds.reads, &table, &cfg, grid, &comm);
+        let local = out.overlaps.to_local_csr();
+        let mut true_pos = 0usize;
+        let mut false_pos = 0usize;
+        for (i, j, _) in local.iter() {
+            if i < j {
+                if ds.true_overlap(i, j) >= cfg.alignment.min_overlap / 2 {
+                    true_pos += 1;
+                } else {
+                    false_pos += 1;
+                }
+            }
+        }
+        assert!(true_pos > 0, "should recover genuine overlaps");
+        assert!(
+            false_pos <= true_pos / 5 + 2,
+            "too many spurious overlaps: {false_pos} false vs {true_pos} true"
+        );
+    }
+
+    #[test]
+    fn grid_size_does_not_change_the_overlap_set() {
+        let (ds, table, cfg) = setup(5);
+        let comm1 = CommStats::new();
+        let out1 = run_overlap_2d(&ds.reads, &table, &cfg, ProcessGrid::square(1), &comm1);
+        let comm4 = CommStats::new();
+        let out4 = run_overlap_2d(&ds.reads, &table, &cfg, ProcessGrid::square(4), &comm4);
+        let comm9 = CommStats::new();
+        let out9 = run_overlap_2d(&ds.reads, &table, &cfg, ProcessGrid::square(9), &comm9);
+        assert_eq!(out1.overlaps.to_local_csr(), out4.overlaps.to_local_csr());
+        assert_eq!(out1.overlaps.to_local_csr(), out9.overlaps.to_local_csr());
+        assert_eq!(out1.stats, out4.stats);
+        // Larger grids communicate, a single rank does not.
+        assert_eq!(comm1.words(CommPhase::OverlapDetection), 0);
+        assert!(comm4.words(CommPhase::OverlapDetection) > 0);
+        assert_eq!(comm1.words(CommPhase::ReadExchange), 0);
+        assert!(comm4.words(CommPhase::ReadExchange) > 0);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let (ds, table, cfg) = setup(6);
+        let comm = CommStats::new();
+        let out = run_overlap_2d(&ds.reads, &table, &cfg, ProcessGrid::square(4), &comm);
+        let s = out.stats;
+        assert_eq!(
+            s.aligned_pairs,
+            s.dovetail + s.contained + s.internal + s.below_threshold,
+            "every aligned pair must be classified exactly once"
+        );
+        assert!(s.candidate_pairs >= s.aligned_pairs);
+        assert!((s.r_density - out.overlaps.nnz() as f64 / ds.reads.len() as f64).abs() < 1e-9);
+        // Every surviving overlap contributes two directed entries; dovetails
+        // touching contained reads are dropped, so this is an upper bound.
+        assert!(out.overlaps.nnz() <= 2 * s.dovetail);
+        assert_eq!(out.overlaps.nnz() % 2, 0);
+        // No edge may touch a contained read.
+        if s.contained_reads > 0 {
+            assert!(out.overlaps.nnz() < 2 * s.dovetail || s.dovetail == 0);
+        }
+    }
+
+    #[test]
+    fn read_exchange_words_grow_with_grid_and_stay_zero_on_one_rank() {
+        let (ds, _, _) = setup(7);
+        let one = CommStats::new();
+        account_read_exchange_2d(&ds.reads, ProcessGrid::square(1), &one);
+        assert_eq!(one.words(CommPhase::ReadExchange), 0);
+        let four = CommStats::new();
+        account_read_exchange_2d(&ds.reads, ProcessGrid::square(4), &four);
+        let nine = CommStats::new();
+        account_read_exchange_2d(&ds.reads, ProcessGrid::square(9), &nine);
+        assert!(four.words(CommPhase::ReadExchange) > 0);
+        // Aggregate exchanged volume grows with the grid (per-rank volume shrinks).
+        assert!(nine.words(CommPhase::ReadExchange) > four.words(CommPhase::ReadExchange));
+        assert!(
+            nine.snapshot().phase(CommPhase::ReadExchange).max_words_per_rank
+                < four.snapshot().phase(CommPhase::ReadExchange).max_words_per_rank
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Matrix entry types of the overlap stage.
+
+use dibella_align::BidirectedDir;
+use serde::{Deserialize, Serialize};
+
+/// How many shared k-mer seeds are kept per read pair (a user parameter in the
+/// paper; "for this work we store two k-mer positions for each read pair").
+pub const MAX_SEEDS: usize = 2;
+
+/// One entry of the `|reads| x |k-mers|` matrix `A`: where (and in which
+/// orientation) a reliable k-mer occurs in a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmerOccurrence {
+    /// Start position of the k-mer in the read.
+    pub pos: u32,
+    /// `true` if the k-mer occurs in its canonical orientation at that
+    /// position, `false` if its reverse complement does.
+    pub forward: bool,
+}
+
+/// A shared k-mer between two reads — the alignment seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedSeed {
+    /// Position of the k-mer in the row read (`v`).
+    pub pos_v: u32,
+    /// Position of the k-mer in the column read (`h`), on its stored strand.
+    pub pos_h: u32,
+    /// `true` if the k-mer has the same orientation in both reads, i.e. the
+    /// overlap is a same-strand overlap.
+    pub same_strand: bool,
+}
+
+/// One entry of the candidate overlap matrix `C = A·Aᵀ`: the number of shared
+/// k-mers between two reads and (up to [`MAX_SEEDS`]) seed positions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommonKmers {
+    /// Number of shared reliable k-mers.
+    pub count: u32,
+    /// Stored seed positions (at most [`MAX_SEEDS`]).
+    pub seeds: Vec<SharedSeed>,
+}
+
+impl CommonKmers {
+    /// A candidate with a single seed.
+    pub fn from_seed(seed: SharedSeed) -> Self {
+        Self { count: 1, seeds: vec![seed] }
+    }
+}
+
+/// One entry of the overlap matrix `R` (and of the string matrix `S`): a
+/// bidirected edge annotated with the information transitive reduction needs
+/// (Section IV-E — "the length of the overlap suffix and the overlap
+/// orientation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapEdge {
+    /// Two-bit direction of the edge when walking row-read → column-read.
+    pub dir: u8,
+    /// Overhang (suffix) length in bases when walking row-read → column-read.
+    pub suffix: u32,
+    /// Alignment score of the underlying overlap.
+    pub score: i32,
+    /// Aligned length (overlap length) in bases.
+    pub overlap_len: u32,
+}
+
+impl OverlapEdge {
+    /// The direction as a typed [`BidirectedDir`].
+    pub fn direction(&self) -> BidirectedDir {
+        BidirectedDir(self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_kmers_from_seed() {
+        let seed = SharedSeed { pos_v: 10, pos_h: 20, same_strand: true };
+        let ck = CommonKmers::from_seed(seed);
+        assert_eq!(ck.count, 1);
+        assert_eq!(ck.seeds, vec![seed]);
+    }
+
+    #[test]
+    fn overlap_edge_direction_roundtrip() {
+        for bits in 0u8..4 {
+            let e = OverlapEdge { dir: bits, suffix: 100, score: 50, overlap_len: 400 };
+            assert_eq!(e.direction().bits(), bits);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Pipeline configuration.
+
+use dibella_overlap::OverlapConfig;
+use dibella_seq::KmerSelection;
+use dibella_strgraph::TransitiveReductionConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one diBELLA (1D or 2D) pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Reliable k-mer selection (k, frequency bounds).
+    pub kmer: KmerSelection,
+    /// Overlap detection and alignment settings.
+    pub overlap: OverlapConfig,
+    /// Transitive reduction settings.
+    pub transitive: TransitiveReductionConfig,
+    /// Number of virtual MPI ranks (must be a perfect square for the 2D
+    /// pipeline; the largest square not exceeding it is used otherwise).
+    pub nprocs: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            kmer: KmerSelection::paper_default(),
+            overlap: OverlapConfig::default(),
+            transitive: TransitiveReductionConfig::default(),
+            nprocs: 4,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's experimental setting (`k = 17`, max k-mer frequency 4,
+    /// fuzz 1000) at a given virtual process count.
+    pub fn paper_default(nprocs: usize) -> Self {
+        Self { nprocs, ..Self::default() }
+    }
+
+    /// Settings scaled for the short synthetic reads used in tests and small
+    /// benchmarks: shorter k-mers, smaller overlap/fuzz thresholds.
+    pub fn for_small_reads(k: usize, nprocs: usize) -> Self {
+        Self {
+            kmer: KmerSelection { k, min_count: 2, max_count: 60 },
+            overlap: OverlapConfig::for_tests(k),
+            transitive: TransitiveReductionConfig::for_tests(),
+            nprocs,
+        }
+    }
+
+    /// Settings for medium-scale benchmark datasets (reads of a few kb,
+    /// realistic error rates): the paper's k but thresholds matched to the
+    /// scaled read lengths.
+    pub fn for_benchmark(k: usize, error_rate: f64, nprocs: usize) -> Self {
+        let mut overlap = OverlapConfig {
+            k,
+            min_shared_kmers: 1,
+            alignment: dibella_align::AlignmentConfig::for_error_rate(error_rate),
+        };
+        overlap.alignment.min_overlap = 300;
+        overlap.alignment.classification_fuzz = 400;
+        Self {
+            kmer: KmerSelection::with_bella_bound(k, 20.0, error_rate),
+            overlap,
+            transitive: TransitiveReductionConfig { fuzz: 500, max_iterations: 16 },
+            nprocs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let cfg = PipelineConfig::paper_default(338);
+        assert_eq!(cfg.kmer.k, 17);
+        assert_eq!(cfg.kmer.max_count, 4);
+        assert_eq!(cfg.transitive.fuzz, 1000);
+        assert_eq!(cfg.nprocs, 338);
+    }
+
+    #[test]
+    fn small_read_config_uses_consistent_k() {
+        let cfg = PipelineConfig::for_small_reads(13, 4);
+        assert_eq!(cfg.kmer.k, 13);
+        assert_eq!(cfg.overlap.k, 13);
+        assert!(cfg.overlap.alignment.min_overlap < 200);
+    }
+
+    #[test]
+    fn benchmark_config_scales_with_error_rate() {
+        let clean = PipelineConfig::for_benchmark(17, 0.05, 16);
+        let noisy = PipelineConfig::for_benchmark(17, 0.15, 16);
+        assert!(clean.overlap.alignment.min_score_per_base > noisy.overlap.alignment.min_score_per_base);
+        assert!(clean.kmer.max_count >= 4);
+    }
+}

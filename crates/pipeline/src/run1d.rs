@@ -1,0 +1,154 @@
+//! The diBELLA 1D baseline pipeline.
+//!
+//! diBELLA 1D (Ellis et al., ICPP 2019) shares the k-mer counting and
+//! alignment stages with the 2D pipeline but performs overlap detection with a
+//! distributed hash table (equivalently, a 1D outer-product SpGEMM with a
+//! post-multiplication reduction) and exchanges at most one read per candidate
+//! nonzero.  It does not implement transitive reduction, which is why the
+//! Figure 9 comparison subtracts the TR time from diBELLA 2D.
+
+use crate::config::PipelineConfig;
+use crate::run2d::PipelineDims;
+use crate::timings::{timed, StageTimings};
+use dibella_dist::{CommSnapshot, CommStats, ProcessGrid};
+use dibella_overlap::{
+    account_read_exchange_1d, align_candidates, build_a_matrix, detect_candidates_1d,
+    OverlapEdge, OverlapStats,
+};
+use dibella_seq::{count_kmers_distributed, ReadSet};
+use dibella_sparse::DistMat2D;
+
+/// Everything a diBELLA 1D run produces.
+#[derive(Debug, Clone)]
+pub struct Pipeline1dOutput {
+    /// The overlap matrix `R` (no transitive reduction in the 1D pipeline).
+    pub overlap_matrix: DistMat2D<OverlapEdge>,
+    /// Per-stage wall-clock timings (`tr_reduction` is always zero).
+    pub timings: StageTimings,
+    /// Communication counters for the whole run.
+    pub comm: CommSnapshot,
+    /// Overlap-stage counters.
+    pub overlap_stats: OverlapStats,
+    /// Run dimensions.
+    pub dims: PipelineDims,
+    /// Number of virtual ranks used.
+    pub nprocs: usize,
+}
+
+/// Run the diBELLA 1D pipeline on an already-parsed read set.
+pub fn run_dibella_1d(
+    reads: &ReadSet,
+    config: &PipelineConfig,
+    comm: &CommStats,
+) -> Pipeline1dOutput {
+    let nprocs = config.nprocs.max(1);
+    let mut timings = StageTimings::default();
+
+    let (table, t_count) = timed(|| count_kmers_distributed(reads, &config.kmer, nprocs, comm));
+    timings.count_kmer = t_count;
+
+    // The 1D pipeline's data structures are not 2D-distributed; assemble the
+    // occurrence matrix locally (one block) after a block-partitioned build.
+    let grid = ProcessGrid::square(1);
+    let (a, t_create) =
+        timed(|| build_a_matrix(reads, &table, config.overlap.k, grid, nprocs));
+    timings.create_spmat = t_create;
+    let a_density = if table.is_empty() { 0.0 } else { a.nnz() as f64 / table.len() as f64 };
+
+    let a_local = a.to_local_csr();
+    let (candidates_local, t_spgemm) = timed(|| detect_candidates_1d(&a_local, nprocs, comm));
+    timings.spgemm = t_spgemm;
+
+    let (_, t_exchange) =
+        timed(|| account_read_exchange_1d(reads, &candidates_local, nprocs, comm));
+    timings.exchange_read = t_exchange;
+
+    let candidates = DistMat2D::from_triples(grid, &candidates_local.to_triples());
+    let ((overlap_matrix, overlap_stats), t_align) =
+        timed(|| align_candidates(reads, &candidates, &config.overlap));
+    timings.alignment = t_align;
+
+    Pipeline1dOutput {
+        overlap_matrix,
+        timings,
+        comm: comm.snapshot(),
+        overlap_stats,
+        dims: PipelineDims {
+            reads: reads.len(),
+            kmers: table.len(),
+            mean_read_length: reads.mean_read_length(),
+            a_density,
+        },
+        nprocs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run2d::run_dibella_2d_on_reads;
+    use dibella_dist::CommPhase;
+    use dibella_seq::DatasetSpec;
+
+    fn tiny_config(nprocs: usize) -> PipelineConfig {
+        PipelineConfig::for_small_reads(13, nprocs)
+    }
+
+    #[test]
+    fn one_d_pipeline_finds_the_same_overlaps_as_2d() {
+        let ds = DatasetSpec::Tiny.generate(52);
+        let comm1d = CommStats::new();
+        let out1d = run_dibella_1d(&ds.reads, &tiny_config(4), &comm1d);
+        let comm2d = CommStats::new();
+        let out2d = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm2d);
+        assert_eq!(
+            out1d.overlap_matrix.to_local_csr().pattern(),
+            out2d.overlap_matrix.to_local_csr().pattern(),
+            "both pipelines must accept the same overlap set"
+        );
+        assert_eq!(out1d.overlap_stats.dovetail, out2d.overlap_stats.dovetail);
+    }
+
+    #[test]
+    fn one_d_pipeline_has_no_tr_stage() {
+        let ds = DatasetSpec::Tiny.generate(53);
+        let comm = CommStats::new();
+        let out = run_dibella_1d(&ds.reads, &tiny_config(4), &comm);
+        assert_eq!(out.timings.tr_reduction, 0.0);
+        assert_eq!(out.comm.phase(CommPhase::TransitiveReduction).words, 0);
+        assert!(out.timings.total_without_tr() > 0.0);
+    }
+
+    #[test]
+    fn one_d_communication_profile_differs_from_2d() {
+        let ds = DatasetSpec::Tiny.generate(54);
+        let p = 16;
+        let comm1d = CommStats::new();
+        let _ = run_dibella_1d(&ds.reads, &tiny_config(p), &comm1d);
+        let comm2d = CommStats::new();
+        let _ = run_dibella_2d_on_reads(&ds.reads, &tiny_config(p), &comm2d);
+        // K-mer counting is the same algorithm in both pipelines.
+        assert_eq!(
+            comm1d.words(CommPhase::KmerCounting),
+            comm2d.words(CommPhase::KmerCounting)
+        );
+        // Overlap-detection latency: the 1D all-to-all reduction uses more
+        // messages than the 2D broadcasts (Table I: Y = P vs √P per rank).
+        assert!(
+            comm1d.messages(CommPhase::OverlapDetection)
+                > comm2d.messages(CommPhase::OverlapDetection)
+        );
+        // Both record read-exchange traffic.
+        assert!(comm1d.words(CommPhase::ReadExchange) > 0);
+        assert!(comm2d.words(CommPhase::ReadExchange) > 0);
+    }
+
+    #[test]
+    fn single_rank_run_is_communication_free() {
+        let ds = DatasetSpec::Tiny.generate(55);
+        let comm = CommStats::new();
+        let out = run_dibella_1d(&ds.reads, &tiny_config(1), &comm);
+        assert_eq!(out.comm.total_words(), 0);
+        assert!(out.overlap_matrix.nnz() > 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The diBELLA 2D pipeline (Algorithm 1).
+
+use crate::config::PipelineConfig;
+use crate::timings::{timed, StageTimings};
+use dibella_dist::{CommSnapshot, CommStats, ProcessGrid};
+use dibella_overlap::{
+    account_read_exchange_2d, align_candidates, build_a_matrix, detect_candidates_2d,
+    OverlapEdge, OverlapStats,
+};
+use dibella_seq::{count_kmers_distributed, parse_fasta, ReadSet};
+use dibella_sparse::DistMat2D;
+use dibella_strgraph::{transitive_reduction, TrOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Everything a diBELLA 2D run produces.
+#[derive(Debug, Clone)]
+pub struct Pipeline2dOutput {
+    /// The string matrix `S` (transitively reduced overlap graph).
+    pub string_matrix: DistMat2D<OverlapEdge>,
+    /// The overlap matrix `R` (before reduction).
+    pub overlap_matrix: DistMat2D<OverlapEdge>,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Communication counters for the whole run.
+    pub comm: CommSnapshot,
+    /// Overlap-stage counters (candidate pairs, densities, pruning reasons).
+    pub overlap_stats: OverlapStats,
+    /// Summary of the transitive reduction (iterations, removed edges).
+    pub tr_summary: TrSummary,
+    /// Process grid used.
+    pub grid: ProcessGrid,
+    /// Number of reads (`n`) and reliable k-mers (`m`).
+    pub dims: PipelineDims,
+}
+
+/// Dimensions of the run (Table II symbols measured on the input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineDims {
+    /// Read count `n`.
+    pub reads: usize,
+    /// Reliable k-mer count `m`.
+    pub kmers: usize,
+    /// Mean read length `l`.
+    pub mean_read_length: f64,
+    /// Density `a` of `A` (average reads per reliable k-mer).
+    pub a_density: f64,
+}
+
+/// A compact, serialisable summary of a [`TrOutcome`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrSummary {
+    /// Reduction rounds executed.
+    pub iterations: usize,
+    /// Directed entries removed.
+    pub removed_edges: usize,
+    /// Entries in the string matrix `S`.
+    pub string_edges: usize,
+    /// `s` — average nonzeros per row of `S`.
+    pub s_density: f64,
+}
+
+impl TrSummary {
+    fn from_outcome(outcome: &TrOutcome, nreads: usize) -> Self {
+        Self {
+            iterations: outcome.iterations,
+            removed_edges: outcome.removed_edges,
+            string_edges: outcome.string_matrix.nnz(),
+            s_density: if nreads > 0 {
+                outcome.string_matrix.nnz() as f64 / nreads as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Run the diBELLA 2D pipeline on FASTA text.
+pub fn run_dibella_2d(fasta: &str, config: &PipelineConfig) -> Result<Pipeline2dOutput, String> {
+    let comm = CommStats::new();
+    let (reads, read_time) = timed(|| parse_fasta(fasta));
+    let reads = reads?;
+    let mut out = run_dibella_2d_on_reads(&reads, config, &comm);
+    out.timings.read_fastq = read_time;
+    out.comm = comm.snapshot();
+    Ok(out)
+}
+
+/// Run the diBELLA 2D pipeline on an already-parsed read set.
+///
+/// The FASTA parsing time is reported as zero; callers that parse a file can
+/// use [`run_dibella_2d`] to have it measured.
+pub fn run_dibella_2d_on_reads(
+    reads: &ReadSet,
+    config: &PipelineConfig,
+    comm: &CommStats,
+) -> Pipeline2dOutput {
+    let grid = ProcessGrid::square_at_most(config.nprocs);
+    let mut timings = StageTimings::default();
+
+    // CountKmer: two-pass distributed counting with Bloom filtering.
+    let (table, t_count) =
+        timed(|| count_kmers_distributed(reads, &config.kmer, grid.nprocs(), comm));
+    timings.count_kmer = t_count;
+
+    // CreateSpMat: the occurrence matrix A (Aᵀ is formed inside the SpGEMM).
+    let (a, t_create) =
+        timed(|| build_a_matrix(reads, &table, config.overlap.k, grid, grid.nprocs()));
+    timings.create_spmat = t_create;
+    let a_density = if table.is_empty() { 0.0 } else { a.nnz() as f64 / table.len() as f64 };
+
+    // ExchangeRead: in the real system the exchange is overlapped with the
+    // k-mer counting and SpGEMM; here the data is already shared, so this
+    // stage only accounts for the words/messages a real run would move.
+    let (_, t_exchange) = timed(|| account_read_exchange_2d(reads, grid, comm));
+    timings.exchange_read = t_exchange;
+
+    // SpGEMM: C = A·Aᵀ with the shared-k-mer semiring.
+    let (candidates, t_spgemm) = timed(|| detect_candidates_2d(&a, comm));
+    timings.spgemm = t_spgemm;
+
+    // Alignment: x-drop seed-and-extend on every candidate, then pruning.
+    let ((overlap_matrix, overlap_stats), t_align) =
+        timed(|| align_candidates(reads, &candidates, &config.overlap));
+    timings.alignment = t_align;
+
+    // TrReduction: Algorithm 2.
+    let (tr, t_tr) = timed(|| transitive_reduction(&overlap_matrix, &config.transitive, comm));
+    timings.tr_reduction = t_tr;
+
+    Pipeline2dOutput {
+        tr_summary: TrSummary::from_outcome(&tr, reads.len()),
+        string_matrix: tr.string_matrix,
+        overlap_matrix,
+        timings,
+        comm: comm.snapshot(),
+        overlap_stats,
+        grid,
+        dims: PipelineDims {
+            reads: reads.len(),
+            kmers: table.len(),
+            mean_read_length: reads.mean_read_length(),
+            a_density,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_dist::CommPhase;
+    use dibella_seq::{write_fasta, DatasetSpec};
+    use dibella_strgraph::transitive::remaining_transitive_edges;
+    use dibella_strgraph::{extract_contigs, BidirectedGraph};
+
+    fn tiny_config(nprocs: usize) -> PipelineConfig {
+        PipelineConfig::for_small_reads(13, nprocs)
+    }
+
+    #[test]
+    fn pipeline_produces_a_reduced_string_graph() {
+        let ds = DatasetSpec::Tiny.generate(42);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
+        assert!(out.overlap_matrix.nnz() > 0, "overlaps expected on a 12x dataset");
+        assert!(out.string_matrix.nnz() > 0);
+        assert!(out.string_matrix.nnz() <= out.overlap_matrix.nnz());
+        assert!(out.tr_summary.iterations >= 1);
+        assert_eq!(
+            out.tr_summary.removed_edges,
+            out.overlap_matrix.nnz() - out.string_matrix.nnz()
+        );
+        // The string graph is a fixed point of the reduction rule.
+        assert!(remaining_transitive_edges(&out.string_matrix, 60).is_empty());
+    }
+
+    #[test]
+    fn timings_cover_every_stage() {
+        let ds = DatasetSpec::Tiny.generate(43);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
+        let t = out.timings;
+        assert!(t.count_kmer > 0.0);
+        assert!(t.create_spmat > 0.0);
+        assert!(t.spgemm > 0.0);
+        assert!(t.alignment > 0.0);
+        assert!(t.tr_reduction > 0.0);
+        assert!(t.total() >= t.total_without_alignment());
+        assert_eq!(t.read_fastq, 0.0, "read set was pre-parsed");
+    }
+
+    #[test]
+    fn fasta_entry_point_parses_and_times_reading() {
+        let ds = DatasetSpec::Tiny.generate(44);
+        let fasta = write_fasta(&ds.reads);
+        let out = run_dibella_2d(&fasta, &tiny_config(4)).unwrap();
+        assert!(out.timings.read_fastq > 0.0);
+        assert_eq!(out.dims.reads, ds.reads.len());
+        let bad = run_dibella_2d(">x\nACGTN\n", &tiny_config(4));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn communication_is_recorded_per_phase() {
+        let ds = DatasetSpec::Tiny.generate(45);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(9), &comm);
+        assert!(out.comm.phase(CommPhase::KmerCounting).words > 0);
+        assert!(out.comm.phase(CommPhase::OverlapDetection).words > 0);
+        assert!(out.comm.phase(CommPhase::ReadExchange).words > 0);
+        assert!(out.comm.phase(CommPhase::TransitiveReduction).words > 0);
+        assert!(out.comm.extras.contains_key("tr_iterations"));
+    }
+
+    #[test]
+    fn process_count_changes_communication_but_not_the_result() {
+        let ds = DatasetSpec::Tiny.generate(46);
+        let comm1 = CommStats::new();
+        let out1 = run_dibella_2d_on_reads(&ds.reads, &tiny_config(1), &comm1);
+        let comm9 = CommStats::new();
+        let out9 = run_dibella_2d_on_reads(&ds.reads, &tiny_config(9), &comm9);
+        assert_eq!(
+            out1.string_matrix.to_local_csr(),
+            out9.string_matrix.to_local_csr(),
+            "the string graph must not depend on the virtual process count"
+        );
+        assert_eq!(out1.comm.total_words(), 0);
+        assert!(out9.comm.total_words() > 0);
+    }
+
+    #[test]
+    fn non_square_process_counts_fall_back_to_the_largest_square() {
+        let ds = DatasetSpec::Tiny.generate(47);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(10), &comm);
+        assert_eq!(out.grid.nprocs(), 9);
+    }
+
+    #[test]
+    fn string_graph_layouts_reconstruct_long_contigs() {
+        // On a low-error tiny dataset the string graph should chain most reads
+        // into a few long contigs covering the genome.
+        let ds = DatasetSpec::Tiny.generate(48);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
+        let graph = BidirectedGraph::from_dist_matrix(&out.string_matrix);
+        assert_eq!(graph.num_vertices(), ds.reads.len());
+        let lengths: Vec<usize> = (0..ds.reads.len()).map(|i| ds.reads.seq(i).len()).collect();
+        let contigs = extract_contigs(&out.string_matrix.to_local_csr(), &lengths);
+        assert!(!contigs.is_empty());
+        let largest = &contigs[0];
+        assert!(
+            largest.reads.len() >= 5,
+            "largest contig should chain several reads, got {}",
+            largest.reads.len()
+        );
+        // Its estimated length should be in the ballpark of the genome length.
+        assert!(largest.estimated_length > ds.genome.len() / 3);
+        assert!(largest.estimated_length < ds.genome.len() * 2);
+    }
+
+    #[test]
+    fn densities_match_matrix_contents() {
+        let ds = DatasetSpec::Tiny.generate(49);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
+        let n = ds.reads.len() as f64;
+        assert!((out.overlap_stats.r_density - out.overlap_matrix.nnz() as f64 / n).abs() < 1e-9);
+        assert!((out.tr_summary.s_density - out.string_matrix.nnz() as f64 / n).abs() < 1e-9);
+        assert!(out.dims.a_density > 0.0);
+        assert!(out.dims.kmers > 0);
+        assert_eq!(out.string_matrix.nrows(), ds.reads.len());
+    }
+}

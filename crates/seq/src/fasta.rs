@@ -1,0 +1,252 @@
+//! FASTA input/output and the read-set container.
+//!
+//! The pipeline's input is a FASTA file of long reads (Section IV-B).  The
+//! real system reads an equal-sized chunk per MPI rank with parallel I/O; in
+//! this reproduction a [`ReadSet`] is parsed once and then block-partitioned
+//! over the virtual ranks, with the parse itself parallelised over records.
+
+use crate::dna::DnaSeq;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One FASTA record: a name and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadRecord {
+    /// The record name (text after `>` up to the first whitespace).
+    pub name: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// An ordered collection of reads; read indices are the row/column indices of
+/// every reads-by-reads matrix in the pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadSet {
+    records: Vec<ReadRecord>,
+}
+
+impl ReadSet {
+    /// An empty read set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from records.
+    pub fn from_records(records: Vec<ReadRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether there are no reads.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record at index `i`.
+    pub fn record(&self, i: usize) -> &ReadRecord {
+        &self.records[i]
+    }
+
+    /// The sequence of read `i`.
+    pub fn seq(&self, i: usize) -> &DnaSeq {
+        &self.records[i].seq
+    }
+
+    /// The name of read `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.records[i].name
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ReadRecord] {
+        &self.records
+    }
+
+    /// Append a record, returning its index.
+    pub fn push(&mut self, record: ReadRecord) -> usize {
+        self.records.push(record);
+        self.records.len() - 1
+    }
+
+    /// Iterate over `(index, &record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ReadRecord)> {
+        self.records.iter().enumerate()
+    }
+
+    /// Total number of bases across all reads (`n·l` in the paper's notation).
+    pub fn total_bases(&self) -> usize {
+        self.records.iter().map(|r| r.seq.len()).sum()
+    }
+
+    /// Mean read length (`l`), zero if empty.
+    pub fn mean_read_length(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_bases() as f64 / self.records.len() as f64
+        }
+    }
+}
+
+/// Parse FASTA text into a [`ReadSet`].
+///
+/// Records may span multiple lines; blank lines are ignored.  Characters other
+/// than `{A, C, G, T}` (e.g. `N`) are rejected — the simulators in this repo
+/// never emit them, and the paper's pipeline operates on the 2-bit alphabet.
+pub fn parse_fasta(text: &str) -> Result<ReadSet, String> {
+    // Split into raw records first so the per-record parsing can run in parallel.
+    let mut raw: Vec<(String, String)> = Vec::new();
+    let mut current_name: Option<String> = None;
+    let mut current_seq = String::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(name) = current_name.take() {
+                raw.push((name, std::mem::take(&mut current_seq)));
+            }
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err("record with empty name".to_string());
+            }
+            current_name = Some(name);
+        } else {
+            if current_name.is_none() {
+                return Err("sequence data before the first '>' header".to_string());
+            }
+            current_seq.push_str(line);
+        }
+    }
+    if let Some(name) = current_name.take() {
+        raw.push((name, current_seq));
+    }
+
+    let records: Result<Vec<ReadRecord>, String> = raw
+        .into_par_iter()
+        .map(|(name, seq)| {
+            let seq = DnaSeq::from_ascii(seq.as_bytes())
+                .map_err(|e| format!("record {name}: {e}"))?;
+            Ok(ReadRecord { name, seq })
+        })
+        .collect();
+    Ok(ReadSet::from_records(records?))
+}
+
+/// Parse a FASTA file from disk.
+pub fn parse_fasta_file(path: impl AsRef<Path>) -> Result<ReadSet, String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+    parse_fasta(&text)
+}
+
+/// Serialise a [`ReadSet`] to FASTA text with 80-column line wrapping.
+pub fn write_fasta(reads: &ReadSet) -> String {
+    let mut out = String::new();
+    for (_, rec) in reads.iter() {
+        out.push('>');
+        out.push_str(&rec.name);
+        out.push('\n');
+        let ascii = rec.seq.to_ascii();
+        for chunk in ascii.as_bytes().chunks(80) {
+            out.push_str(std::str::from_utf8(chunk).unwrap());
+            out.push('\n');
+        }
+        if rec.seq.is_empty() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Write a [`ReadSet`] to a FASTA file.
+pub fn write_fasta_file(reads: &ReadSet, path: impl AsRef<Path>) -> Result<(), String> {
+    std::fs::write(path.as_ref(), write_fasta(reads))
+        .map_err(|e| format!("writing {}: {e}", path.as_ref().display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = ">read1 some description\nACGT\nACGT\n\n>read2\nTTTT\n>read3\nG\n";
+
+    #[test]
+    fn parse_multi_line_records() {
+        let reads = parse_fasta(SAMPLE).unwrap();
+        assert_eq!(reads.len(), 3);
+        assert_eq!(reads.name(0), "read1");
+        assert_eq!(reads.seq(0).to_ascii(), "ACGTACGT");
+        assert_eq!(reads.seq(1).to_ascii(), "TTTT");
+        assert_eq!(reads.seq(2).to_ascii(), "G");
+    }
+
+    #[test]
+    fn header_description_is_dropped() {
+        let reads = parse_fasta(">abc def ghi\nACGT\n").unwrap();
+        assert_eq!(reads.name(0), "abc");
+    }
+
+    #[test]
+    fn invalid_bases_are_reported_with_record_name() {
+        let err = parse_fasta(">bad\nACGN\n").unwrap_err();
+        assert!(err.contains("bad"), "error should name the record: {err}");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        assert!(parse_fasta("ACGT\n>x\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_read_set() {
+        let reads = parse_fasta("").unwrap();
+        assert!(reads.is_empty());
+        assert_eq!(reads.total_bases(), 0);
+        assert_eq!(reads.mean_read_length(), 0.0);
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let reads = parse_fasta(SAMPLE).unwrap();
+        let text = write_fasta(&reads);
+        let back = parse_fasta(&text).unwrap();
+        assert_eq!(back, reads);
+    }
+
+    #[test]
+    fn long_sequences_are_wrapped() {
+        let long_seq = "A".repeat(205);
+        let reads = parse_fasta(&format!(">long\n{long_seq}\n")).unwrap();
+        let text = write_fasta(&reads);
+        let max_line = text.lines().map(|l| l.len()).max().unwrap();
+        assert!(max_line <= 80);
+        let back = parse_fasta(&text).unwrap();
+        assert_eq!(back.seq(0).len(), 205);
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let reads = parse_fasta(SAMPLE).unwrap();
+        assert_eq!(reads.total_bases(), 8 + 4 + 1);
+        assert!((reads.mean_read_length() - 13.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let reads = parse_fasta(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("dibella_seq_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.fa");
+        write_fasta_file(&reads, &path).unwrap();
+        let back = parse_fasta_file(&path).unwrap();
+        assert_eq!(back, reads);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,389 @@
+//! Two-pass distributed k-mer counting (Section IV-C of the paper).
+//!
+//! The counter mirrors the HipMer-style design diBELLA 2D uses:
+//!
+//! 1. every rank extracts the canonical k-mers of its block of reads and sends
+//!    each k-mer to an owner rank chosen by hashing (`MPI_Alltoallv`);
+//! 2. **pass 1**: owners insert incoming k-mers into a Bloom filter; a k-mer
+//!    that hits the filter (seen at least twice) graduates to the local hash
+//!    table — singletons never occupy table memory;
+//! 3. **pass 2**: the same exchange is repeated and owners count occurrences
+//!    of the k-mers that graduated;
+//! 4. k-mers whose count falls outside the reliable range
+//!    `[min_count, max_count]` are discarded (the BELLA-style upper bound `d`
+//!    removes repeat-induced high-frequency k-mers);
+//! 5. surviving k-mers receive consecutive column indices — they become the
+//!    columns of the `|reads| x |k-mers|` matrix `A`.
+//!
+//! The k-mer exchange traffic is recorded under
+//! [`CommPhase::KmerCounting`] with the paper's `k/4`-bytes-per-k-mer wire
+//! format (2-bit packed), so the measured words can be compared against the
+//! model `W = n·l·k/(4·P)` of Table I.
+
+use crate::bloom::BloomFilter;
+use crate::fasta::ReadSet;
+use crate::kmer::{Kmer, KmerIter};
+use dibella_dist::{alltoallv_counted, par_ranks, BlockDist, CommPhase, CommStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Reliable k-mer selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmerSelection {
+    /// k-mer length (the paper uses `k = 17`).
+    pub k: usize,
+    /// Minimum count for a reliable k-mer (2 discards singletons).
+    pub min_count: u32,
+    /// Maximum count for a reliable k-mer (discards repeat-induced k-mers).
+    pub max_count: u32,
+}
+
+impl Default for KmerSelection {
+    fn default() -> Self {
+        Self { k: 17, min_count: 2, max_count: 8 }
+    }
+}
+
+impl KmerSelection {
+    /// The experimental setting of the paper: `k = 17`, maximum k-mer
+    /// frequency 4 (Section VI).
+    pub fn paper_default() -> Self {
+        Self { k: 17, min_count: 2, max_count: 4 }
+    }
+
+    /// A BELLA-style upper frequency bound derived from dataset statistics:
+    /// the expected number of error-free occurrences of a true genomic k-mer
+    /// is `d·(1-e)^k`; k-mers far above that are almost surely repeats.
+    pub fn with_bella_bound(k: usize, depth: f64, error_rate: f64) -> Self {
+        let expected = depth * (1.0 - error_rate).powi(k as i32);
+        let bound = (expected + 2.0 * expected.sqrt()).ceil().max(4.0) as u32;
+        Self { k, min_count: 2, max_count: bound }
+    }
+}
+
+/// The reliable k-mer table: canonical k-mers, their counts, and their column
+/// indices in the `|reads| x |k-mers|` matrix `A`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KmerTable {
+    kmers: Vec<Kmer>,
+    counts: Vec<u32>,
+    #[serde(skip)]
+    index: HashMap<Kmer, u32>,
+}
+
+impl KmerTable {
+    fn from_sorted(kmers: Vec<Kmer>, counts: Vec<u32>) -> Self {
+        let index = kmers.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+        Self { kmers, counts, index }
+    }
+
+    /// Number of reliable k-mers (`m` in the paper's notation).
+    pub fn len(&self) -> usize {
+        self.kmers.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kmers.is_empty()
+    }
+
+    /// Column index of a canonical k-mer, if reliable.
+    pub fn column_of(&self, canonical: &Kmer) -> Option<u32> {
+        self.index.get(canonical).copied()
+    }
+
+    /// The canonical k-mer at a column index.
+    pub fn kmer_at(&self, column: u32) -> Kmer {
+        self.kmers[column as usize]
+    }
+
+    /// The count of the k-mer at a column index.
+    pub fn count_at(&self, column: u32) -> u32 {
+        self.counts[column as usize]
+    }
+
+    /// Iterate over `(column, kmer, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Kmer, u32)> + '_ {
+        self.kmers
+            .iter()
+            .zip(self.counts.iter())
+            .enumerate()
+            .map(|(i, (k, c))| (i as u32, *k, *c))
+    }
+
+    /// Average number of reads containing a reliable k-mer (`a` in Table II:
+    /// the density of `A`).
+    pub fn mean_count(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.counts.iter().map(|&c| c as f64).sum::<f64>() / self.counts.len() as f64
+        }
+    }
+}
+
+/// Serial reference k-mer counter (used by tests and the minimizer baseline).
+pub fn count_kmers_serial(reads: &ReadSet, selection: &KmerSelection) -> KmerTable {
+    let mut counts: HashMap<Kmer, u32> = HashMap::new();
+    for (_, rec) in reads.iter() {
+        if rec.seq.len() < selection.k {
+            continue;
+        }
+        for (_, kmer) in KmerIter::new(&rec.seq, selection.k) {
+            *counts.entry(kmer.canonical().kmer).or_insert(0) += 1;
+        }
+    }
+    build_table(counts, selection)
+}
+
+/// Distributed two-pass k-mer counter over `nprocs` virtual ranks.
+///
+/// Reads are block-partitioned over ranks; canonical k-mers are exchanged to
+/// hash-assigned owner ranks twice (Bloom pass, then counting pass), exactly
+/// as the paper's k-mer counter does.  Returns the same table as
+/// [`count_kmers_serial`] for any `nprocs`.
+pub fn count_kmers_distributed(
+    reads: &ReadSet,
+    selection: &KmerSelection,
+    nprocs: usize,
+    stats: &CommStats,
+) -> KmerTable {
+    assert!(nprocs > 0);
+    let read_dist = BlockDist::new(reads.len(), nprocs);
+    // The wire format is 2-bit packed, i.e. k/4 bytes per k-mer: that is
+    // ceil(k/32) 8-byte words.
+    let words_per_kmer = (selection.k as u64).div_ceil(32);
+
+    // Each rank extracts the canonical k-mers of its reads and buckets them by
+    // owner rank (hash of the canonical k-mer).
+    let extract = || -> Vec<Vec<Vec<Kmer>>> {
+        par_ranks(nprocs, |rank| {
+            let mut bufs: Vec<Vec<Kmer>> = (0..nprocs).map(|_| Vec::new()).collect();
+            for read_idx in read_dist.range(rank) {
+                let seq = reads.seq(read_idx);
+                if seq.len() < selection.k {
+                    continue;
+                }
+                for (_, kmer) in KmerIter::new(seq, selection.k) {
+                    let canon = kmer.canonical().kmer;
+                    let owner = (canon.hash64() % nprocs as u64) as usize;
+                    bufs[owner].push(canon);
+                }
+            }
+            bufs
+        })
+    };
+
+    // Pass 1: Bloom filter pass.  Owners learn which of their k-mers occur at
+    // least twice.
+    let pass1 = alltoallv_counted(extract(), stats, CommPhase::KmerCounting, words_per_kmer);
+    let candidates: Vec<Vec<Kmer>> = pass1
+        .into_iter()
+        .map(|incoming| {
+            let mut bloom = BloomFilter::with_rate(incoming.len().max(64), 0.01);
+            let mut seen_twice: HashMap<Kmer, ()> = HashMap::new();
+            for kmer in incoming {
+                if bloom.insert(kmer.packed()) {
+                    seen_twice.entry(kmer).or_insert(());
+                }
+            }
+            seen_twice.into_keys().collect()
+        })
+        .collect();
+
+    // Pass 2: counting pass over the same exchange.
+    let pass2 = alltoallv_counted(extract(), stats, CommPhase::KmerCounting, words_per_kmer);
+    let per_rank_counts: Vec<HashMap<Kmer, u32>> = pass2
+        .into_iter()
+        .zip(candidates)
+        .map(|(incoming, cands)| {
+            let cand_set: std::collections::HashSet<Kmer> = cands.into_iter().collect();
+            let mut counts: HashMap<Kmer, u32> = HashMap::with_capacity(cand_set.len());
+            for kmer in incoming {
+                if cand_set.contains(&kmer) {
+                    *counts.entry(kmer).or_insert(0) += 1;
+                }
+            }
+            counts
+        })
+        .collect();
+
+    // Because the Bloom filter may produce false positives on the *first*
+    // occurrence of a k-mer, a candidate's pass-2 count can still be 1; the
+    // reliable-range filter below removes those, matching the serial counter.
+    let mut merged: HashMap<Kmer, u32> = HashMap::new();
+    for counts in per_rank_counts {
+        for (k, c) in counts {
+            *merged.entry(k).or_insert(0) += c;
+        }
+    }
+    build_table(merged, selection)
+}
+
+fn build_table(counts: HashMap<Kmer, u32>, selection: &KmerSelection) -> KmerTable {
+    let mut reliable: Vec<(Kmer, u32)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= selection.min_count && *c <= selection.max_count)
+        .collect();
+    reliable.sort_by_key(|(k, _)| *k);
+    let (kmers, counts): (Vec<_>, Vec<_>) = reliable.into_iter().unzip();
+    KmerTable::from_sorted(kmers, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::{parse_fasta, ReadRecord};
+    use crate::simulate::DatasetSpec;
+    use proptest::prelude::*;
+
+    fn reads_from(seqs: &[&str]) -> ReadSet {
+        let mut rs = ReadSet::new();
+        for (i, s) in seqs.iter().enumerate() {
+            rs.push(ReadRecord { name: format!("r{i}"), seq: s.parse().unwrap() });
+        }
+        rs
+    }
+
+    #[test]
+    fn serial_counts_simple_case() {
+        // "ACGTA" with k=3 has k-mers ACG, CGT, GTA.  Canonically CGT collapses
+        // onto ACG (its reverse complement), so per read: ACG x2, GTA x1.
+        // With two identical reads: ACG -> 4, GTA -> 2.
+        let reads = reads_from(&["ACGTA", "ACGTA"]);
+        let sel = KmerSelection { k: 3, min_count: 2, max_count: 100 };
+        let table = count_kmers_serial(&reads, &sel);
+        assert_eq!(table.len(), 2);
+        let acg = Kmer::from_ascii(b"ACG").unwrap().canonical().kmer;
+        let gta = Kmer::from_ascii(b"GTA").unwrap().canonical().kmer;
+        assert_eq!(table.count_at(table.column_of(&acg).unwrap()), 4);
+        assert_eq!(table.count_at(table.column_of(&gta).unwrap()), 2);
+    }
+
+    #[test]
+    fn singletons_are_discarded() {
+        let reads = reads_from(&["AAAAAAAA", "CCCCCCCC"]);
+        let sel = KmerSelection { k: 4, min_count: 2, max_count: 100 };
+        let table = count_kmers_serial(&reads, &sel);
+        // AAAA appears 5 times in read 0; CCCC appears 5 times in read 1
+        // (canonical of GGGG too).  Both are >= 2 so both survive.
+        assert_eq!(table.len(), 2);
+
+        let reads2 = reads_from(&["ACGTACGA"]);
+        let sel2 = KmerSelection { k: 8, min_count: 2, max_count: 100 };
+        let table2 = count_kmers_serial(&reads2, &sel2);
+        assert!(table2.is_empty(), "a k-mer occurring once must be discarded");
+    }
+
+    #[test]
+    fn high_frequency_kmers_are_discarded() {
+        let reads = reads_from(&["AAAAAAAAAAAAAAAA"]);
+        let sel = KmerSelection { k: 4, min_count: 2, max_count: 5 };
+        let table = count_kmers_serial(&reads, &sel);
+        assert!(table.is_empty(), "a 13-copy k-mer must exceed max_count=5");
+    }
+
+    #[test]
+    fn canonical_forms_merge_forward_and_reverse_occurrences() {
+        // Read 2 is the reverse complement of read 1: every canonical k-mer
+        // should be counted twice.
+        let fwd = "ACGGTTACGGAC";
+        let rc: String = crate::dna::DnaSeq::from_ascii(fwd.as_bytes())
+            .unwrap()
+            .reverse_complement()
+            .to_ascii();
+        let reads = reads_from(&[fwd, &rc]);
+        let sel = KmerSelection { k: 5, min_count: 2, max_count: 100 };
+        let table = count_kmers_serial(&reads, &sel);
+        assert!(!table.is_empty());
+        for (_, _, c) in table.iter() {
+            assert!(c >= 2, "forward and reverse occurrences must merge");
+        }
+    }
+
+    #[test]
+    fn column_lookup_is_consistent() {
+        let reads = reads_from(&["ACGTACGTACG", "ACGTACGTACG"]);
+        let sel = KmerSelection { k: 4, min_count: 2, max_count: 100 };
+        let table = count_kmers_serial(&reads, &sel);
+        for (col, kmer, _) in table.iter() {
+            assert_eq!(table.column_of(&kmer), Some(col));
+            assert_eq!(table.kmer_at(col), kmer);
+        }
+        let absent = Kmer::from_ascii(b"TTTT").unwrap().canonical().kmer;
+        if table.column_of(&absent).is_some() {
+            // Only possible if TTTT/AAAA actually occurs in the reads; it does not.
+            panic!("absent k-mer must not have a column");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_on_simulated_data() {
+        let ds = DatasetSpec::Tiny.generate(7);
+        let sel = KmerSelection { k: 11, min_count: 2, max_count: 30 };
+        let serial = count_kmers_serial(&ds.reads, &sel);
+        for nprocs in [1usize, 2, 4, 9] {
+            let stats = CommStats::new();
+            let dist = count_kmers_distributed(&ds.reads, &sel, nprocs, &stats);
+            assert_eq!(dist.len(), serial.len(), "table size mismatch at P={nprocs}");
+            for (col, kmer, count) in serial.iter() {
+                let dcol = dist.column_of(&kmer).expect("k-mer missing in distributed table");
+                assert_eq!(dist.count_at(dcol), count, "count mismatch for column {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_communication_is_recorded_and_scales_with_ranks() {
+        let ds = DatasetSpec::Tiny.generate(8);
+        let sel = KmerSelection { k: 11, min_count: 2, max_count: 30 };
+        let stats1 = CommStats::new();
+        let _ = count_kmers_distributed(&ds.reads, &sel, 1, &stats1);
+        assert_eq!(stats1.words(CommPhase::KmerCounting), 0, "single rank exchanges nothing");
+        let stats4 = CommStats::new();
+        let _ = count_kmers_distributed(&ds.reads, &sel, 4, &stats4);
+        assert!(stats4.words(CommPhase::KmerCounting) > 0);
+        assert!(stats4.messages(CommPhase::KmerCounting) > 0);
+    }
+
+    #[test]
+    fn bella_bound_tracks_depth_and_error() {
+        let low_depth = KmerSelection::with_bella_bound(17, 10.0, 0.15);
+        let high_depth = KmerSelection::with_bella_bound(17, 40.0, 0.13);
+        assert!(high_depth.max_count > low_depth.max_count);
+        assert!(low_depth.max_count >= 4);
+        assert_eq!(KmerSelection::paper_default().max_count, 4);
+        assert_eq!(KmerSelection::paper_default().k, 17);
+    }
+
+    #[test]
+    fn reads_shorter_than_k_are_skipped() {
+        let reads = parse_fasta(">a\nACG\n>b\nACGTACGTAC\n>c\nACGTACGTAC\n").unwrap();
+        let sel = KmerSelection { k: 5, min_count: 2, max_count: 100 };
+        let table = count_kmers_serial(&reads, &sel);
+        assert!(!table.is_empty());
+        // No panic and the 3-base read contributed nothing.
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_distributed_equals_serial(
+            seed in 0u64..200,
+            nprocs in 1usize..6,
+            k in 4usize..10,
+        ) {
+            let ds = DatasetSpec::Tiny.generate_with_length(2_000, seed);
+            let sel = KmerSelection { k, min_count: 2, max_count: 50 };
+            let serial = count_kmers_serial(&ds.reads, &sel);
+            let stats = CommStats::new();
+            let dist = count_kmers_distributed(&ds.reads, &sel, nprocs, &stats);
+            prop_assert_eq!(serial.len(), dist.len());
+            for (_, kmer, count) in serial.iter() {
+                let col = dist.column_of(&kmer);
+                prop_assert!(col.is_some());
+                prop_assert_eq!(dist.count_at(col.unwrap()), count);
+            }
+        }
+    }
+}

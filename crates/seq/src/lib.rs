@@ -1,0 +1,37 @@
+//! # dibella-seq — sequences, k-mers and k-mer counting
+//!
+//! The genomics substrate of the diBELLA 2D reproduction:
+//!
+//! * [`dna`] — the DNA alphabet, 2-bit codes, reverse complements and the
+//!   [`dna::DnaSeq`] sequence type.
+//! * [`kmer`] — fixed-length k-mers packed into a `u64` (k ≤ 31), canonical
+//!   forms and k-mer extraction from sequences.
+//! * [`fasta`] — FASTA parsing/writing and the [`fasta::ReadSet`] container
+//!   used throughout the pipeline.
+//! * [`bloom`] — the Bloom filter used to discard singleton k-mers during
+//!   counting (Melsted & Pritchard style, as cited by the paper).
+//! * [`simulate`] — synthetic genome and PacBio-CLR-like long-read simulation.
+//!   The paper evaluates on proprietary-scale PacBio CLR datasets
+//!   (C. elegans 40×, H. sapiens 10×); this module generates scaled-down
+//!   datasets with the same depth / read-length / error-rate statistics so
+//!   that every downstream code path (k-mer spectrum, overlap density,
+//!   transitive reduction) is exercised realistically.
+//! * [`kmer_counter`] — the two-pass distributed k-mer counter (Section IV-C):
+//!   Bloom-filter pass then counting pass, with the all-to-all k-mer exchange
+//!   accounted under [`dibella_dist::CommPhase::KmerCounting`].
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod dna;
+pub mod fasta;
+pub mod kmer;
+pub mod kmer_counter;
+pub mod simulate;
+
+pub use bloom::BloomFilter;
+pub use dna::{complement_code, DnaSeq, Strand};
+pub use fasta::{parse_fasta, parse_fasta_file, write_fasta, write_fasta_file, ReadRecord, ReadSet};
+pub use kmer::{CanonicalKmer, Kmer, KmerIter};
+pub use kmer_counter::{count_kmers_distributed, count_kmers_serial, KmerSelection, KmerTable};
+pub use simulate::{DatasetSpec, ReadSimConfig, SimulatedDataset};

@@ -1,0 +1,460 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is the local storage format used for all computation: every block of a
+//! [`crate::DistMat2D`] is a `CsrMatrix`, and the local SpGEMM, element-wise
+//! kernels and reductions all operate on it.
+
+use crate::triples::Triples;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (checked in debug builds and by [`CsrMatrix::validate`]):
+/// * `rowptr.len() == nrows + 1`, `rowptr[0] == 0`, non-decreasing;
+/// * `colidx.len() == vals.len() == rowptr[nrows]`;
+/// * within each row, column indices are strictly increasing (no duplicates).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T> CsrMatrix<T> {
+    /// An empty (all-zero) `nrows x ncols` matrix.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Build from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the CSR invariants do not hold.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<usize>,
+        vals: Vec<T>,
+    ) -> Self {
+        let m = Self { nrows, ncols, rowptr, colidx, vals };
+        m.validate().expect("invalid CSR arrays");
+        m
+    }
+
+    /// Check the CSR invariants, returning a description of the first
+    /// violation if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rowptr.len() != self.nrows + 1 {
+            return Err(format!(
+                "rowptr length {} != nrows+1 {}",
+                self.rowptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.rowptr[0] != 0 {
+            return Err("rowptr[0] != 0".into());
+        }
+        if *self.rowptr.last().unwrap() != self.colidx.len() {
+            return Err("rowptr[nrows] != colidx.len()".into());
+        }
+        if self.colidx.len() != self.vals.len() {
+            return Err("colidx and vals length mismatch".into());
+        }
+        for r in 0..self.nrows {
+            if self.rowptr[r] > self.rowptr[r + 1] {
+                return Err(format!("rowptr decreases at row {r}"));
+            }
+            let row = &self.colidx[self.rowptr[r]..self.rowptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r} has unsorted or duplicate columns"));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= self.ncols {
+                    return Err(format!("row {r} has column {last} >= ncols {}", self.ncols));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Whether the matrix stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.colidx.is_empty()
+    }
+
+    /// The row pointer array.
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column index array.
+    pub fn colidx(&self) -> &[usize] {
+        &self.colidx
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable access to the values (the pattern cannot be changed this way).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// Iterate over one row as `(col, &value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, &T)> {
+        let range = self.rowptr[r]..self.rowptr[r + 1];
+        self.colidx[range.clone()].iter().copied().zip(self.vals[range].iter())
+    }
+
+    /// Number of entries in one row.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.rowptr[r + 1] - self.rowptr[r]
+    }
+
+    /// Iterate over all entries as `(row, col, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        (0..self.nrows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Look up the value at `(row, col)` (binary search within the row).
+    pub fn get(&self, row: usize, col: usize) -> Option<&T> {
+        let range = self.rowptr[row]..self.rowptr[row + 1];
+        let cols = &self.colidx[range.clone()];
+        cols.binary_search(&col).ok().map(|i| &self.vals[range.start + i])
+    }
+
+    /// The sorted `(row, col)` sparsity pattern.
+    pub fn pattern(&self) -> Vec<(usize, usize)> {
+        self.iter().map(|(r, c, _)| (r, c)).collect()
+    }
+
+    /// Map values (same pattern, new value type).
+    pub fn map<U>(&self, mut f: impl FnMut(usize, usize, &T) -> U) -> CsrMatrix<U> {
+        let mut vals = Vec::with_capacity(self.nnz());
+        for (r, c, v) in self.iter() {
+            vals.push(f(r, c, v));
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            vals,
+        }
+    }
+
+    /// Apply a function to every value in place (CombBLAS `Apply`).
+    pub fn apply_mut(&mut self, mut f: impl FnMut(usize, usize, &mut T)) {
+        for r in 0..self.nrows {
+            for i in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.colidx[i];
+                f(r, c, &mut self.vals[i]);
+            }
+        }
+    }
+}
+
+impl<T: Clone> CsrMatrix<T> {
+    /// Build from triples; duplicate coordinates are rejected.
+    ///
+    /// # Panics
+    /// Panics if the triples contain duplicate `(row, col)` coordinates — use
+    /// [`Triples::merge_duplicates`] first if duplicates are expected.
+    pub fn from_triples(triples: &Triples<T>) -> Self {
+        let nrows = triples.nrows();
+        let ncols = triples.ncols();
+        let mut entries: Vec<(usize, usize, T)> =
+            triples.iter().map(|(r, c, v)| (r, c, v.clone())).collect();
+        entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        for w in entries.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "duplicate coordinate ({}, {}) in triples",
+                w[0].0,
+                w[0].1
+            );
+        }
+        let mut rowptr = vec![0usize; nrows + 1];
+        for (r, _, _) in &entries {
+            rowptr[r + 1] += 1;
+        }
+        for r in 0..nrows {
+            rowptr[r + 1] += rowptr[r];
+        }
+        let mut colidx = Vec::with_capacity(entries.len());
+        let mut vals = Vec::with_capacity(entries.len());
+        for (_, c, v) in entries {
+            colidx.push(c);
+            vals.push(v);
+        }
+        Self { nrows, ncols, rowptr, colidx, vals }
+    }
+
+    /// Convert back to triples (values cloned).
+    pub fn to_triples(&self) -> Triples<T> {
+        let mut t = Triples::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            t.push(r, c, v.clone());
+        }
+        t
+    }
+
+    /// Transpose (values cloned).
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        // Counting sort by column.
+        let mut rowptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            rowptr[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            rowptr[c + 1] += rowptr[c];
+        }
+        let mut next = rowptr.clone();
+        let mut colidx = vec![0usize; self.nnz()];
+        let mut vals: Vec<Option<T>> = vec![None; self.nnz()];
+        for (r, c, v) in self.iter() {
+            let slot = next[c];
+            colidx[slot] = r;
+            vals[slot] = Some(v.clone());
+            next[c] += 1;
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            colidx,
+            vals: vals.into_iter().map(|v| v.expect("transpose slot unfilled")).collect(),
+        }
+    }
+
+    /// Keep only entries for which `pred` returns true (CombBLAS `Prune` keeps
+    /// the complement of the pruned set; here the predicate selects survivors).
+    pub fn filter(&self, mut pred: impl FnMut(usize, usize, &T) -> bool) -> CsrMatrix<T> {
+        let mut t = Triples::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            if pred(r, c, v) {
+                t.push(r, c, v.clone());
+            }
+        }
+        CsrMatrix::from_triples(&t)
+    }
+
+    /// Reduce every row with `f`, starting from `None` (empty rows give `None`).
+    ///
+    /// This is CombBLAS `Reduce(Row, op)`: the result has one slot per row.
+    pub fn reduce_rows<U>(
+        &self,
+        mut map: impl FnMut(usize, usize, &T) -> U,
+        mut combine: impl FnMut(U, U) -> U,
+    ) -> Vec<Option<U>> {
+        let mut out: Vec<Option<U>> = Vec::with_capacity(self.nrows);
+        for r in 0..self.nrows {
+            let mut acc: Option<U> = None;
+            for (c, v) in self.row(r) {
+                let x = map(r, c, v);
+                acc = Some(match acc {
+                    None => x,
+                    Some(a) => combine(a, x),
+                });
+            }
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Replace each nonzero in row `r` with `f(v[r], value)` where `v` is a
+    /// per-row vector (CombBLAS `DimApply(Row, v, op)`).
+    ///
+    /// Rows whose vector slot is `None` are left untouched.
+    pub fn dimapply_rows<U: Clone, V>(
+        &self,
+        v: &[Option<U>],
+        mut f: impl FnMut(&U, usize, usize, &T) -> V,
+    ) -> CsrMatrix<Option<V>> {
+        assert_eq!(v.len(), self.nrows, "vector length must equal the row count");
+        self.map(|r, c, val| v[r].as_ref().map(|u| f(u, r, c, val)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> CsrMatrix<i64> {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        let t = Triples::from_entries(3, 3, vec![(0, 0, 1), (0, 2, 2), (2, 0, 3), (2, 1, 4)]);
+        CsrMatrix::from_triples(&t)
+    }
+
+    #[test]
+    fn from_triples_builds_valid_csr() {
+        let m = small();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.rowptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.colidx(), &[0, 2, 0, 1]);
+        assert_eq!(m.values(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn get_finds_entries_and_misses() {
+        let m = small();
+        assert_eq!(m.get(0, 2), Some(&2));
+        assert_eq!(m.get(2, 1), Some(&4));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.get(0, 1), None);
+    }
+
+    #[test]
+    fn row_iteration_is_sorted() {
+        let m = small();
+        let row0: Vec<_> = m.row(0).map(|(c, v)| (c, *v)).collect();
+        assert_eq!(row0, vec![(0, 1), (2, 2)]);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate coordinate")]
+    fn from_triples_rejects_duplicates() {
+        let t = Triples::from_entries(2, 2, vec![(0, 0, 1), (0, 0, 2)]);
+        let _ = CsrMatrix::<i64>::from_triples(&t);
+    }
+
+    #[test]
+    fn transpose_matches_manual() {
+        let m = small();
+        let t = m.transpose();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.get(0, 0), Some(&1));
+        assert_eq!(t.get(2, 0), Some(&2));
+        assert_eq!(t.get(0, 2), Some(&3));
+        assert_eq!(t.get(1, 2), Some(&4));
+        assert_eq!(t.nnz(), 4);
+    }
+
+    #[test]
+    fn filter_prunes_entries() {
+        let m = small();
+        let f = m.filter(|_, _, v| *v >= 3);
+        assert_eq!(f.nnz(), 2);
+        assert_eq!(f.pattern(), vec![(2, 0), (2, 1)]);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn map_and_apply_mut_change_values() {
+        let m = small();
+        let doubled = m.map(|_, _, v| v * 2);
+        assert_eq!(doubled.values(), &[2, 4, 6, 8]);
+        let mut m2 = small();
+        m2.apply_mut(|r, c, v| *v += (r + c) as i64);
+        assert_eq!(m2.get(2, 1), Some(&7));
+    }
+
+    #[test]
+    fn reduce_rows_max() {
+        let m = small();
+        let maxes = m.reduce_rows(|_, _, v| *v, i64::max);
+        assert_eq!(maxes, vec![Some(2), None, Some(4)]);
+    }
+
+    #[test]
+    fn dimapply_rows_broadcasts_row_vector() {
+        let m = small();
+        let v = vec![Some(10i64), None, Some(100)];
+        let d = m.dimapply_rows(&v, |u, _, _, _| *u);
+        assert_eq!(d.get(0, 0), Some(&Some(10)));
+        assert_eq!(d.get(2, 1), Some(&Some(100)));
+    }
+
+    #[test]
+    fn zero_matrix_is_valid_and_empty() {
+        let z = CsrMatrix::<u32>::zero(5, 7);
+        assert!(z.validate().is_ok());
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.nrows(), 5);
+        assert_eq!(z.ncols(), 7);
+        assert!(z.iter().next().is_none());
+    }
+
+    #[test]
+    fn to_triples_roundtrip() {
+        let m = small();
+        let back = CsrMatrix::from_triples(&m.to_triples());
+        assert_eq!(m, back);
+    }
+
+    fn arb_triples() -> impl Strategy<Value = Triples<i64>> {
+        proptest::collection::btree_set((0usize..15, 0usize..12), 0..80).prop_map(|coords| {
+            let entries: Vec<_> = coords
+                .into_iter()
+                .enumerate()
+                .map(|(i, (r, c))| (r, c, i as i64 + 1))
+                .collect();
+            Triples::from_entries(15, 12, entries)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csr_roundtrip_preserves_everything(t in arb_triples()) {
+            let m = CsrMatrix::from_triples(&t);
+            prop_assert!(m.validate().is_ok());
+            prop_assert_eq!(m.nnz(), t.nnz());
+            let mut sorted = t.clone();
+            sorted.sort();
+            let back = m.to_triples();
+            prop_assert_eq!(back.entries(), sorted.entries());
+        }
+
+        #[test]
+        fn prop_transpose_involution(t in arb_triples()) {
+            let m = CsrMatrix::from_triples(&t);
+            let tt = m.transpose().transpose();
+            prop_assert_eq!(m, tt);
+        }
+
+        #[test]
+        fn prop_transpose_preserves_values_at_swapped_coords(t in arb_triples()) {
+            let m = CsrMatrix::from_triples(&t);
+            let tr = m.transpose();
+            prop_assert!(tr.validate().is_ok());
+            for (r, c, v) in m.iter() {
+                prop_assert_eq!(tr.get(c, r), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # dibella-sparse — sparse matrices and semiring algebra
+//!
+//! diBELLA 2D expresses both overlap detection and transitive reduction as
+//! operations on 2D-distributed sparse matrices with user-defined semirings
+//! (the CombBLAS model).  This crate is a from-scratch Rust implementation of
+//! the pieces the paper relies on:
+//!
+//! * [`triples::Triples`] — coordinate (COO) storage used for construction and
+//!   redistribution.
+//! * [`csr::CsrMatrix`] — compressed sparse row storage used for computation.
+//! * [`semiring::Semiring`] — the overloadable add/multiply abstraction; the
+//!   overlap-detection and MinPlus transitive-reduction semirings of the paper
+//!   live in the higher-level crates and plug in here.
+//! * [`spgemm`] — local (single-block) Gustavson SpGEMM with hash-based
+//!   accumulation, plus a dense reference implementation for testing.
+//! * [`elementwise`] — the element-wise kernels of Algorithm 2: `Apply`,
+//!   `Prune`, `Reduce(Row, max)`, `DimApply`, element-wise intersection and
+//!   set-difference.
+//! * [`distmat::DistMat2D`] — a matrix block-distributed over a
+//!   [`dibella_dist::ProcessGrid`].
+//! * [`summa`] — 2D Sparse SUMMA (`C = A·B` over a semiring) with
+//!   communication accounting, the direct analogue of CombBLAS' SpGEMM used in
+//!   the paper.
+//! * [`outer1d`] — the 1D outer-product SpGEMM that models diBELLA 1D's
+//!   communication structure (Section V-B).
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod distmat;
+pub mod elementwise;
+pub mod outer1d;
+pub mod semiring;
+pub mod spgemm;
+pub mod summa;
+pub mod triples;
+
+pub use csr::CsrMatrix;
+pub use distmat::DistMat2D;
+pub use semiring::{BoolAndOr, MinPlusNum, PlusTimes, Semiring};
+pub use spgemm::{dense_reference_spgemm, local_spgemm};
+pub use summa::{summa, summa_with_words};
+pub use triples::Triples;

@@ -1,0 +1,264 @@
+//! 1D outer-product SpGEMM — the communication structure of diBELLA 1D.
+//!
+//! Section V-B of the paper observes that diBELLA 1D's distributed-hash-table
+//! overlap detection "is equivalent to a 1D sparse matrix multiplication using
+//! the outer product algorithm": `A` is distributed in block columns, `Aᵀ` in
+//! block rows, every rank `k` forms the partial product `A_{:,k} · Aᵀ_{k,:}`
+//! locally, and the partial products are then reduced onto the block-row
+//! owners of `C`.  The reduction is the expensive part: each rank exchanges
+//! `a²m/P` words, compared with `a·m/sqrt(P)` for the 2D algorithm.
+//!
+//! This module implements that algorithm generically over a [`Semiring`] so
+//! that the 1D-vs-2D comparison of Figure 9 and Table I runs the same local
+//! kernels and differs only in decomposition and communication — exactly the
+//! comparison the paper makes.
+
+use crate::csr::CsrMatrix;
+use crate::semiring::Semiring;
+use crate::spgemm::{local_spgemm, merge_rows, rows_to_csr};
+use crate::triples::Triples;
+use dibella_dist::{alltoallv_counted, par_ranks, words_of, BlockDist, CommPhase, CommStats};
+use rayon::prelude::*;
+
+/// Result of a 1D outer-product SpGEMM: the output matrix distributed in block
+/// rows over `nprocs` ranks, plus the gathered global matrix.
+pub struct Outer1dResult<T> {
+    /// Per-rank block-row partitions of the result (rank `k` owns the rows in
+    /// `row_dist.range(k)`).
+    pub row_blocks: Vec<CsrMatrix<T>>,
+    /// Distribution of output rows over ranks.
+    pub row_dist: BlockDist,
+}
+
+impl<T: Clone> Outer1dResult<T> {
+    /// Assemble the distributed block rows into one global matrix.
+    pub fn to_local_csr(&self, ncols: usize) -> CsrMatrix<T> {
+        let total_rows = self.row_dist.total();
+        let mut t = Triples::new(total_rows, ncols);
+        for (rank, block) in self.row_blocks.iter().enumerate() {
+            let roff = self.row_dist.start(rank);
+            for (r, c, v) in block.iter() {
+                t.push(roff + r, c, v.clone());
+            }
+        }
+        CsrMatrix::from_triples(&t)
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_blocks.iter().map(|b| b.nnz()).sum()
+    }
+}
+
+/// Compute `C = A·B` with the 1D outer-product algorithm over `nprocs` virtual
+/// ranks, recording the reduction traffic into `stats` under `phase`.
+///
+/// `A` is split into block columns and `B` into the matching block rows; the
+/// partial products are merged onto block-row owners of `C` with an
+/// all-to-all, which is the communication the paper's 1D analysis charges
+/// (`W_1D = a²m/P`, `Y_1D = P`).
+pub fn outer1d_spgemm<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    nprocs: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+) -> Outer1dResult<S::Out> {
+    outer1d_spgemm_with_words::<S>(a, b, nprocs, stats, phase, words_of::<S::Out>() + 2)
+}
+
+/// [`outer1d_spgemm`] with an explicit word cost per exchanged partial entry
+/// (value plus row and column index by default).
+pub fn outer1d_spgemm_with_words<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    nprocs: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+    entry_words: u64,
+) -> Outer1dResult<S::Out> {
+    assert!(nprocs > 0, "need at least one rank");
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let n = a.nrows();
+    let inner = a.ncols();
+    let inner_dist = BlockDist::new(inner, nprocs);
+    let out_row_dist = BlockDist::new(n, nprocs);
+
+    // Every rank forms its partial product A[:, k-th column block] * B[k-th row block, :].
+    // Slicing A by columns from CSR is awkward, so slice via the transpose once.
+    let a_t = a.transpose();
+    let partials: Vec<CsrMatrix<S::Out>> = par_ranks(nprocs, |rank| {
+        let cols = inner_dist.range(rank);
+        if cols.is_empty() {
+            return CsrMatrix::zero(n, b.ncols());
+        }
+        // Build A_slice (n x |cols|) and B_slice (|cols| x ncols) with local inner indices.
+        let mut a_slice_t = Triples::new(cols.len(), n);
+        for (local_k, k) in cols.clone().enumerate() {
+            for (r, v) in a_t.row(k) {
+                a_slice_t.push(local_k, r, v.clone());
+            }
+        }
+        let a_slice = CsrMatrix::from_triples(&a_slice_t).transpose();
+        let mut b_slice_t = Triples::new(cols.len(), b.ncols());
+        for (local_k, k) in cols.clone().enumerate() {
+            for (c, v) in b.row(k) {
+                b_slice_t.push(local_k, c, v.clone());
+            }
+        }
+        let b_slice = CsrMatrix::from_triples(&b_slice_t);
+        local_spgemm::<S>(&a_slice, &b_slice)
+    });
+
+    // Reduction: each partial entry is routed to the block-row owner of its
+    // output row, then merged with the semiring's add.
+    let send: Vec<Vec<Vec<(usize, usize, S::Out)>>> = partials
+        .par_iter()
+        .map(|partial| {
+            let mut bufs: Vec<Vec<(usize, usize, S::Out)>> =
+                (0..nprocs).map(|_| Vec::new()).collect();
+            for (r, c, v) in partial.iter() {
+                bufs[out_row_dist.owner(r)].push((r, c, v.clone()));
+            }
+            bufs
+        })
+        .collect();
+    let received = alltoallv_counted(send, stats, phase, entry_words);
+
+    // Merge each destination rank's received entries into its block rows.
+    let row_blocks: Vec<CsrMatrix<S::Out>> = received
+        .into_par_iter()
+        .enumerate()
+        .map(|(rank, entries)| {
+            let rows_here = out_row_dist.size(rank);
+            let roff = out_row_dist.start(rank);
+            let mut rows: Vec<Vec<(usize, S::Out)>> = vec![Vec::new(); rows_here];
+            // Group by row, then merge column-sorted runs with the semiring add.
+            let mut by_row: Vec<Vec<(usize, S::Out)>> = vec![Vec::new(); rows_here];
+            for (r, c, v) in entries {
+                by_row[r - roff].push((c, v));
+            }
+            for (local_r, mut run) in by_row.into_iter().enumerate() {
+                run.sort_by_key(|(c, _)| *c);
+                let mut merged: Vec<(usize, S::Out)> = Vec::with_capacity(run.len());
+                for (c, v) in run {
+                    match merged.last_mut() {
+                        Some((lc, lv)) if *lc == c => S::add(lv, v),
+                        _ => merged.push((c, v)),
+                    }
+                }
+                rows[local_r] = merged;
+            }
+            rows_to_csr(rows_here, b.ncols(), rows)
+        })
+        .collect();
+
+    Outer1dResult { row_blocks, row_dist: out_row_dist }
+}
+
+/// Merge helper re-exported for the overlap crate's 1D pipeline.
+pub fn merge_sorted_rows<S: Semiring>(
+    left: Vec<(usize, S::Out)>,
+    right: Vec<(usize, S::Out)>,
+) -> Vec<(usize, S::Out)> {
+    merge_rows::<S>(left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimes;
+    use proptest::prelude::*;
+
+    fn random_triples(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Triples<i64> {
+        let mut t = Triples::new(nrows, ncols);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        while seen.len() < nnz.min(nrows * ncols) {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let r = (state >> 33) as usize % nrows;
+            let c = (state >> 11) as usize % ncols;
+            if seen.insert((r, c)) {
+                t.push(r, c, ((state % 13) as i64) - 6);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn outer1d_matches_local_spgemm() {
+        let at = random_triples(12, 9, 40, 11);
+        let bt = random_triples(9, 14, 40, 12);
+        let a = CsrMatrix::from_triples(&at);
+        let b = CsrMatrix::from_triples(&bt);
+        let expected = local_spgemm::<PlusTimes<i64>>(&a, &b);
+        for p in [1usize, 2, 3, 5, 8] {
+            let stats = CommStats::new();
+            let result =
+                outer1d_spgemm::<PlusTimes<i64>>(&a, &b, p, &stats, CommPhase::OverlapDetection);
+            assert_eq!(result.to_local_csr(b.ncols()), expected, "mismatch at P={p}");
+        }
+    }
+
+    #[test]
+    fn outer1d_single_rank_communicates_nothing() {
+        let at = random_triples(8, 8, 20, 3);
+        let a = CsrMatrix::from_triples(&at);
+        let b = a.transpose();
+        let stats = CommStats::new();
+        let _ = outer1d_spgemm::<PlusTimes<i64>>(&a, &b, 1, &stats, CommPhase::OverlapDetection);
+        assert_eq!(stats.words(CommPhase::OverlapDetection), 0);
+        assert_eq!(stats.messages(CommPhase::OverlapDetection), 0);
+    }
+
+    #[test]
+    fn outer1d_communication_counts_partial_products() {
+        // With a dense-ish A*A^T the 1D algorithm must ship roughly the full
+        // partial-product volume; just assert it is substantial and grows as P
+        // gives each rank a smaller share of the inner dimension.
+        let at = random_triples(20, 16, 120, 21);
+        let a = CsrMatrix::from_triples(&at);
+        let b = a.transpose();
+        let stats4 = CommStats::new();
+        let _ = outer1d_spgemm::<PlusTimes<i64>>(&a, &b, 4, &stats4, CommPhase::OverlapDetection);
+        let w4 = stats4.words(CommPhase::OverlapDetection);
+        assert!(w4 > 0);
+        let stats16 = CommStats::new();
+        let _ = outer1d_spgemm::<PlusTimes<i64>>(&a, &b, 16, &stats16, CommPhase::OverlapDetection);
+        let w16 = stats16.words(CommPhase::OverlapDetection);
+        assert!(w16 >= w4, "more ranks should not reduce total exchanged volume: {w16} vs {w4}");
+    }
+
+    #[test]
+    fn outer1d_handles_more_ranks_than_inner_dimension() {
+        let at = random_triples(6, 3, 10, 31);
+        let a = CsrMatrix::from_triples(&at);
+        let b = a.transpose();
+        let expected = local_spgemm::<PlusTimes<i64>>(&a, &b);
+        let stats = CommStats::new();
+        let result = outer1d_spgemm::<PlusTimes<i64>>(&a, &b, 9, &stats, CommPhase::Other);
+        assert_eq!(result.to_local_csr(b.ncols()), expected);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_outer1d_equals_local(
+            seed_a in 0u64..500,
+            seed_b in 500u64..1000,
+            p in 1usize..7,
+            n in 4usize..16,
+            m in 4usize..16,
+            k in 4usize..16,
+        ) {
+            let at = random_triples(n, m, n * m / 3 + 1, seed_a);
+            let bt = random_triples(m, k, m * k / 3 + 1, seed_b);
+            let a = CsrMatrix::from_triples(&at);
+            let b = CsrMatrix::from_triples(&bt);
+            let expected = local_spgemm::<PlusTimes<i64>>(&a, &b);
+            let stats = CommStats::new();
+            let got = outer1d_spgemm::<PlusTimes<i64>>(&a, &b, p, &stats, CommPhase::Other);
+            prop_assert_eq!(got.to_local_csr(b.ncols()), expected);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Local sparse matrix-matrix multiplication over a semiring.
+//!
+//! CombBLAS' local SpGEMM uses a hybrid hash/heap algorithm; we implement a
+//! row-wise Gustavson SpGEMM with hash-map accumulation, parallelised over the
+//! output rows with rayon.  The same kernel is reused by the SUMMA stages
+//! ([`crate::summa`]) and the 1D outer-product baseline ([`crate::outer1d`]),
+//! which also needs the accumulate-into-existing-partial variant
+//! [`spgemm_accumulate`].
+
+use crate::csr::CsrMatrix;
+use crate::semiring::Semiring;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Compute `C = A · B` over semiring `S`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn local_spgemm<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+) -> CsrMatrix<S::Out> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "inner dimension mismatch: A is {}x{}, B is {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let rows: Vec<Vec<(usize, S::Out)>> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| multiply_row::<S>(a, b, i))
+        .collect();
+    rows_to_csr(a.nrows(), b.ncols(), rows)
+}
+
+/// Multiply a single output row `i`: combine row `i` of `A` with the rows of
+/// `B` selected by `A`'s column indices, accumulating per output column.
+fn multiply_row<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    i: usize,
+) -> Vec<(usize, S::Out)> {
+    let mut acc: HashMap<usize, S::Out> = HashMap::new();
+    for (k, aval) in a.row(i) {
+        for (j, bval) in b.row(k) {
+            if let Some(prod) = S::multiply(aval, bval) {
+                match acc.entry(j) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        S::add(e.get_mut(), prod);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(prod);
+                    }
+                }
+            }
+        }
+    }
+    let mut row: Vec<(usize, S::Out)> = acc.into_iter().collect();
+    row.sort_unstable_by_key(|(j, _)| *j);
+    row
+}
+
+/// Accumulate `A · B` into an existing set of per-row partial results.
+///
+/// `partial` must have one entry per output row; each entry is a sorted
+/// `(col, value)` list.  This is the kernel SUMMA uses across its `sqrt(P)`
+/// stages and the 1D algorithm uses when merging partial products.
+pub fn spgemm_accumulate<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    partial: &mut [Vec<(usize, S::Out)>],
+) {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    assert_eq!(partial.len(), a.nrows(), "partial must have one slot per output row");
+    partial.par_iter_mut().enumerate().for_each(|(i, slot)| {
+        let new_row = multiply_row::<S>(a, b, i);
+        if new_row.is_empty() {
+            return;
+        }
+        if slot.is_empty() {
+            *slot = new_row;
+        } else {
+            *slot = merge_rows::<S>(std::mem::take(slot), new_row);
+        }
+    });
+}
+
+/// Merge two sorted `(col, value)` rows, combining collisions with `S::add`.
+pub fn merge_rows<S: Semiring>(
+    left: Vec<(usize, S::Out)>,
+    right: Vec<(usize, S::Out)>,
+) -> Vec<(usize, S::Out)> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut li = left.into_iter().peekable();
+    let mut ri = right.into_iter().peekable();
+    loop {
+        match (li.peek(), ri.peek()) {
+            (Some((lc, _)), Some((rc, _))) => {
+                if lc < rc {
+                    out.push(li.next().unwrap());
+                } else if rc < lc {
+                    out.push(ri.next().unwrap());
+                } else {
+                    let (c, mut lv) = li.next().unwrap();
+                    let (_, rv) = ri.next().unwrap();
+                    S::add(&mut lv, rv);
+                    out.push((c, lv));
+                }
+            }
+            (Some(_), None) => out.push(li.next().unwrap()),
+            (None, Some(_)) => out.push(ri.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Assemble per-row `(col, value)` lists into a CSR matrix.
+pub fn rows_to_csr<T: Clone + Send>(
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<Vec<(usize, T)>>,
+) -> CsrMatrix<T> {
+    assert_eq!(rows.len(), nrows);
+    let nnz: usize = rows.iter().map(|r| r.len()).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for row in rows {
+        for (c, v) in row {
+            colidx.push(c);
+            vals.push(v);
+        }
+        rowptr.push(colidx.len());
+    }
+    CsrMatrix::from_raw(nrows, ncols, rowptr, colidx, vals)
+}
+
+/// A straightforward dense reference SpGEMM used to validate the sparse
+/// kernels in tests and property tests.
+pub fn dense_reference_spgemm<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+) -> Vec<Vec<Option<S::Out>>> {
+    assert_eq!(a.ncols(), b.nrows());
+    let mut dense: Vec<Vec<Option<S::Out>>> = vec![vec![None; b.ncols()]; a.nrows()];
+    for (i, k, aval) in a.iter() {
+        for (j, bval) in b.row(k) {
+            if let Some(prod) = S::multiply(aval, bval) {
+                match &mut dense[i][j] {
+                    Some(acc) => S::add(acc, prod),
+                    slot @ None => *slot = Some(prod),
+                }
+            }
+        }
+    }
+    dense
+}
+
+/// Compare a sparse result against the dense reference (used by tests).
+pub fn matches_dense<T: PartialEq + Clone>(
+    sparse: &CsrMatrix<T>,
+    dense: &[Vec<Option<T>>],
+) -> bool {
+    if dense.len() != sparse.nrows() {
+        return false;
+    }
+    for i in 0..sparse.nrows() {
+        for j in 0..sparse.ncols() {
+            let d = dense[i][j].as_ref();
+            let s = sparse.get(i, j);
+            if d != s {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolAndOr, MinPlusNum, PlusTimes};
+    use crate::triples::Triples;
+    use proptest::prelude::*;
+
+    fn matrix_from(entries: Vec<(usize, usize, i64)>, nrows: usize, ncols: usize) -> CsrMatrix<i64> {
+        CsrMatrix::from_triples(&Triples::from_entries(nrows, ncols, entries))
+    }
+
+    #[test]
+    fn small_plus_times_product() {
+        // A = [1 2; 0 3], B = [4 0; 5 6]  =>  C = [14 12; 15 18]
+        let a = matrix_from(vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)], 2, 2);
+        let b = matrix_from(vec![(0, 0, 4), (1, 0, 5), (1, 1, 6)], 2, 2);
+        let c = local_spgemm::<PlusTimes<i64>>(&a, &b);
+        assert_eq!(c.get(0, 0), Some(&14));
+        assert_eq!(c.get(0, 1), Some(&12));
+        assert_eq!(c.get(1, 0), Some(&15));
+        assert_eq!(c.get(1, 1), Some(&18));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn product_with_empty_matrix_is_empty() {
+        let a = matrix_from(vec![(0, 0, 1)], 2, 3);
+        let b = CsrMatrix::<i64>::zero(3, 4);
+        let c = local_spgemm::<PlusTimes<i64>>(&a, &b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_dimensions_panic() {
+        let a = matrix_from(vec![(0, 0, 1)], 2, 3);
+        let b = matrix_from(vec![(0, 0, 1)], 2, 2);
+        let _ = local_spgemm::<PlusTimes<i64>>(&a, &b);
+    }
+
+    #[test]
+    fn min_plus_finds_two_hop_shortest_paths() {
+        // Path graph 0 -> 1 -> 2 with weights 2 and 3, plus direct 0 -> 2 with weight 10.
+        let entries = vec![(0usize, 1usize, 2u64), (1, 2, 3), (0, 2, 10)];
+        let r = CsrMatrix::from_triples(&Triples::from_entries(3, 3, entries));
+        let n = local_spgemm::<MinPlusNum<u64>>(&r, &r);
+        // Two-hop path 0 -> 2 via 1 costs 5; the "direct then nothing" path is absent
+        // because there is no outgoing edge from 2.
+        assert_eq!(n.get(0, 2), Some(&5));
+    }
+
+    #[test]
+    fn bool_semiring_squares_reachability() {
+        let entries = vec![(0usize, 1usize, true), (1, 2, true)];
+        let g = CsrMatrix::from_triples(&Triples::from_entries(3, 3, entries));
+        let g2 = local_spgemm::<BoolAndOr>(&g, &g);
+        assert_eq!(g2.get(0, 2), Some(&true));
+        assert_eq!(g2.nnz(), 1);
+    }
+
+    #[test]
+    fn accumulate_equals_one_shot_product() {
+        let a = matrix_from(vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4)], 3, 2);
+        let b = matrix_from(vec![(0, 0, 5), (0, 1, 6), (1, 0, 7), (1, 2, 8)], 2, 3);
+        let direct = local_spgemm::<PlusTimes<i64>>(&a, &b);
+        let mut partial: Vec<Vec<(usize, i64)>> = vec![Vec::new(); 3];
+        spgemm_accumulate::<PlusTimes<i64>>(&a, &b, &mut partial);
+        let assembled = rows_to_csr(3, 3, partial);
+        assert_eq!(direct, assembled);
+    }
+
+    #[test]
+    fn accumulate_merges_across_calls() {
+        // Split A into its two columns and B into its two rows; summing the two
+        // outer products must give the same result as the full product.
+        let a = matrix_from(vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)], 2, 2);
+        let b = matrix_from(vec![(0, 0, 4), (1, 0, 5), (1, 1, 6)], 2, 2);
+        let full = local_spgemm::<PlusTimes<i64>>(&a, &b);
+
+        let a_col0 = matrix_from(vec![(0, 0, 1)], 2, 1);
+        let a_col1 = matrix_from(vec![(0, 0, 2), (1, 0, 3)], 2, 1);
+        let b_row0 = matrix_from(vec![(0, 0, 4)], 1, 2);
+        let b_row1 = matrix_from(vec![(0, 0, 5), (0, 1, 6)], 1, 2);
+
+        let mut partial: Vec<Vec<(usize, i64)>> = vec![Vec::new(); 2];
+        spgemm_accumulate::<PlusTimes<i64>>(&a_col0, &b_row0, &mut partial);
+        spgemm_accumulate::<PlusTimes<i64>>(&a_col1, &b_row1, &mut partial);
+        let assembled = rows_to_csr(2, 2, partial);
+        assert_eq!(full, assembled);
+    }
+
+    #[test]
+    fn merge_rows_combines_collisions() {
+        let left = vec![(0usize, 1i64), (2, 3)];
+        let right = vec![(1usize, 10i64), (2, 5)];
+        let merged = merge_rows::<PlusTimes<i64>>(left, right);
+        assert_eq!(merged, vec![(0, 1), (1, 10), (2, 8)]);
+    }
+
+    #[test]
+    fn dense_reference_agrees_on_small_case() {
+        let a = matrix_from(vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)], 2, 2);
+        let b = matrix_from(vec![(0, 0, 4), (1, 0, 5), (1, 1, 6)], 2, 2);
+        let c = local_spgemm::<PlusTimes<i64>>(&a, &b);
+        let dense = dense_reference_spgemm::<PlusTimes<i64>>(&a, &b);
+        assert!(matches_dense(&c, &dense));
+    }
+
+    fn arb_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = CsrMatrix<i64>> {
+        proptest::collection::btree_set((0..nrows, 0..ncols), 0..(nrows * ncols).min(60)).prop_map(
+            move |coords| {
+                let entries: Vec<_> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, c))| (r, c, (i % 7) as i64 - 3))
+                    .collect();
+                CsrMatrix::from_triples(&Triples::from_entries(nrows, ncols, entries))
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spgemm_matches_dense_reference(
+            a in arb_matrix(8, 6),
+            b in arb_matrix(6, 9),
+        ) {
+            let c = local_spgemm::<PlusTimes<i64>>(&a, &b);
+            prop_assert!(c.validate().is_ok());
+            let dense = dense_reference_spgemm::<PlusTimes<i64>>(&a, &b);
+            prop_assert!(matches_dense(&c, &dense));
+        }
+
+        #[test]
+        fn prop_spgemm_transpose_identity(
+            a in arb_matrix(7, 5),
+            b in arb_matrix(5, 6),
+        ) {
+            // (A·B)ᵀ == Bᵀ·Aᵀ over a commutative semiring.
+            let ab_t = local_spgemm::<PlusTimes<i64>>(&a, &b).transpose();
+            let bt_at = local_spgemm::<PlusTimes<i64>>(&b.transpose(), &a.transpose());
+            prop_assert_eq!(ab_t, bt_at);
+        }
+
+        #[test]
+        fn prop_accumulate_split_equals_full(
+            a in arb_matrix(6, 4),
+            b in arb_matrix(4, 5),
+        ) {
+            let full = local_spgemm::<PlusTimes<i64>>(&a, &b);
+            // Accumulate the product one inner index at a time (rank-1 updates).
+            let at = a.transpose();
+            let mut partial: Vec<Vec<(usize, i64)>> = vec![Vec::new(); a.nrows()];
+            for k in 0..a.ncols() {
+                // Column k of A as a nrows x 1 matrix; row k of B as 1 x ncols.
+                let mut col_t = Triples::new(a.nrows(), 1);
+                for (r, v) in at.row(k) {
+                    col_t.push(r, 0, *v);
+                }
+                let mut row_t = Triples::new(1, b.ncols());
+                for (c, v) in b.row(k) {
+                    row_t.push(0, c, *v);
+                }
+                let col = CsrMatrix::from_triples(&col_t);
+                let row = CsrMatrix::from_triples(&row_t);
+                spgemm_accumulate::<PlusTimes<i64>>(&col, &row, &mut partial);
+            }
+            let assembled = rows_to_csr(a.nrows(), b.ncols(), partial);
+            prop_assert_eq!(full, assembled);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Contig layout extraction from the string graph.
+//!
+//! The paper stops at the string graph ("This conversion makes it easier to
+//! cluster sections of the graph into contigs"); the consensus step of OLC is
+//! out of scope.  This module provides the natural hand-off: maximal
+//! unbranched, orientation-consistent walks of the string graph, each of which
+//! is the layout of one contig.  The examples and integration tests use it to
+//! show that an error-free tiling of a genome collapses to a single contig
+//! whose estimated length matches the genome.
+
+use crate::bidirected::BidirectedGraph;
+use dibella_overlap::OverlapEdge;
+use dibella_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One contig layout: an ordered list of reads and an estimated length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contig {
+    /// Read indices in walk order.
+    pub reads: Vec<usize>,
+    /// Estimated contig length: the first read's length plus the suffixes of
+    /// every subsequent edge (the definition of the string-graph walk).
+    pub estimated_length: usize,
+}
+
+impl Contig {
+    /// Number of reads in the layout.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the contig has no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+}
+
+/// Extract maximal unbranched walks from the string matrix.
+///
+/// `read_lengths[i]` is the length of read `i` (used for the length
+/// estimates); singleton reads (no surviving edges) become single-read
+/// contigs.
+pub fn extract_contigs(s: &CsrMatrix<OverlapEdge>, read_lengths: &[usize]) -> Vec<Contig> {
+    assert_eq!(s.nrows(), read_lengths.len(), "one length per read required");
+    let graph = BidirectedGraph::from_matrix(s);
+    let n = graph.num_vertices();
+    let mut visited = vec![false; n];
+    let mut contigs = Vec::new();
+
+    // Start walks at non-branching path ends (degree != 2), then sweep up any
+    // untouched simple cycles.
+    let mut starts: Vec<usize> = (0..n).filter(|&v| graph.degree(v) != 2).collect();
+    starts.extend(0..n);
+
+    for start in starts {
+        if visited[start] {
+            continue;
+        }
+        if graph.degree(start) > 2 {
+            // Branching vertices are emitted as their own (unresolved) contig
+            // seed; a full assembler would resolve them with read depth.
+            visited[start] = true;
+            contigs.push(Contig { reads: vec![start], estimated_length: read_lengths[start] });
+            continue;
+        }
+        visited[start] = true;
+        let mut reads = vec![start];
+        let mut length = read_lengths[start];
+        let mut prev_dir = None;
+        let mut current = start;
+        loop {
+            // Choose the unique unvisited continuation that keeps the walk valid.
+            let mut next = None;
+            for (w, e) in graph.neighbors(current) {
+                if visited[*w] || graph.degree(*w) > 2 {
+                    continue;
+                }
+                let dir = e.direction();
+                if prev_dir.map_or(true, |p: dibella_align::BidirectedDir| p.chains_with(dir)) {
+                    next = Some((*w, *e));
+                    break;
+                }
+            }
+            let Some((w, e)) = next else { break };
+            visited[w] = true;
+            reads.push(w);
+            length += e.suffix as usize;
+            prev_dir = Some(e.direction());
+            current = w;
+        }
+        contigs.push(Contig { reads, estimated_length: length });
+    }
+    contigs.sort_by_key(|c| std::cmp::Reverse(c.reads.len()));
+    contigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{chain_overlap_graph, forked_overlap_graph, tiling_overlap_graph, TILING_STEP};
+    use crate::myers::myers_transitive_reduction;
+
+    fn lengths(n: usize, span: usize) -> Vec<usize> {
+        vec![span * TILING_STEP + 2 * TILING_STEP; n]
+    }
+
+    #[test]
+    fn reduced_chain_yields_one_contig_covering_all_reads() {
+        let n = 10;
+        let r = CsrMatrix::from_triples(&chain_overlap_graph(n, 3));
+        let (s, _) = myers_transitive_reduction(&r, 60);
+        let contigs = extract_contigs(&s, &lengths(n, 3));
+        assert_eq!(contigs[0].reads.len(), n, "the tiling should collapse into one contig");
+        // Reads must appear in tiling order (or its reverse).
+        let mut reads = contigs[0].reads.clone();
+        if reads[0] > *reads.last().unwrap() {
+            reads.reverse();
+        }
+        assert_eq!(reads, (0..n).collect::<Vec<_>>());
+        // Estimated length: first read + (n-1) adjacent suffixes.
+        let expected = lengths(n, 3)[0] + (n - 1) * TILING_STEP;
+        assert_eq!(contigs[0].estimated_length, expected);
+    }
+
+    #[test]
+    fn reverse_strand_tiling_still_forms_one_contig() {
+        let n = 8;
+        let r = CsrMatrix::from_triples(&tiling_overlap_graph(n, 2, true));
+        let (s, _) = myers_transitive_reduction(&r, 60);
+        let contigs = extract_contigs(&s, &lengths(n, 2));
+        assert_eq!(contigs[0].reads.len(), n);
+    }
+
+    #[test]
+    fn forked_graph_produces_multiple_contigs() {
+        let r = CsrMatrix::from_triples(&forked_overlap_graph(4, 3, 1));
+        let (s, _) = myers_transitive_reduction(&r, 60);
+        let n = s.nrows();
+        let contigs = extract_contigs(&s, &vec![600; n]);
+        assert!(contigs.len() >= 2, "a fork cannot be a single walk: {contigs:?}");
+        // Every read appears in exactly one contig.
+        let mut seen = vec![false; n];
+        for c in &contigs {
+            for &r in &c.reads {
+                assert!(!seen[r], "read {r} appears twice");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn isolated_reads_become_singleton_contigs() {
+        let mut triples = chain_overlap_graph(4, 1);
+        // Add two isolated reads (5 and 6) with no edges by enlarging the matrix.
+        let entries = triples.entries().to_vec();
+        triples = dibella_sparse::Triples::from_entries(7, 7, entries);
+        let s = CsrMatrix::from_triples(&triples);
+        let contigs = extract_contigs(&s, &vec![500; 7]);
+        let singleton_count = contigs.iter().filter(|c| c.reads.len() == 1).count();
+        assert!(singleton_count >= 2);
+        assert_eq!(contigs.iter().map(|c| c.reads.len()).sum::<usize>(), 7);
+    }
+}

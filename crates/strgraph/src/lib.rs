@@ -1,0 +1,40 @@
+//! # dibella-strgraph — string graphs and parallel transitive reduction
+//!
+//! The paper's central contribution (Section IV-E, Algorithms 2 and 3): turn
+//! the overlap matrix `R` into a string graph `S` by removing transitive
+//! edges, entirely with sparse-matrix operations over custom semirings.
+//!
+//! * [`trsemiring`] — the MinPlus semiring with bidirected-orientation checks
+//!   used for the squaring `N = R²` (Algorithm 3).
+//! * [`transitive`] — the iterated reduction loop of Algorithm 2 on
+//!   2D-distributed matrices, with communication accounting.
+//! * [`myers`] — Myers' sequential transitive-reduction algorithm
+//!   (Bioinformatics 2005), the linear-time but inherently sequential
+//!   baseline the paper contrasts with.
+//! * [`sora`] — a vertex-centric, superstep-materialising reduction in the
+//!   style of SORA (Spark/GraphX), the distributed baseline of Table VI.
+//! * [`bidirected`] — a graph-level view of the overlap/string matrices:
+//!   valid bidirected walks (Figure 2), degree statistics, edge queries.
+//! * [`contigs`] — extraction of unbranched paths (contig layouts) from the
+//!   string graph, the hand-off point to the consensus step the paper leaves
+//!   to downstream tools.
+//! * [`fixtures`] — hand-built and genome-tiling overlap graphs used by the
+//!   tests, benches and examples.
+
+#![warn(missing_docs)]
+
+pub mod bidirected;
+pub mod contigs;
+pub mod fixtures;
+pub mod matrix_ops;
+pub mod myers;
+pub mod sora;
+pub mod transitive;
+pub mod trsemiring;
+
+pub use bidirected::BidirectedGraph;
+pub use contigs::{extract_contigs, Contig};
+pub use myers::myers_transitive_reduction;
+pub use sora::{sora_transitive_reduction, SoraStats};
+pub use transitive::{transitive_reduction, TransitiveReductionConfig, TrOutcome};
+pub use trsemiring::{TrMinPlus, TwoHop};

@@ -1,0 +1,106 @@
+//! Block-wise element-wise operations on 2D-distributed matrices.
+//!
+//! Algorithm 2's element-wise steps (`M ≥ N`, `R ∘ ¬I`) are "executed in-place
+//! so that they do not contribute to communication time" (Section V-D): every
+//! grid rank already holds the co-located blocks of both operands, so these
+//! kernels simply map over the blocks in parallel.
+
+use dibella_dist::par_ranks;
+use dibella_sparse::elementwise::{ewise_intersect, set_difference};
+use dibella_sparse::{CsrMatrix, DistMat2D};
+
+/// Element-wise operation over the intersection of two identically-distributed
+/// matrices.  `f` receives **global** coordinates.
+pub fn ewise_intersect_dist<A, B, C>(
+    a: &DistMat2D<A>,
+    b: &DistMat2D<B>,
+    f: impl Fn(usize, usize, &A, &B) -> Option<C> + Sync,
+) -> DistMat2D<C>
+where
+    A: Clone + Send + Sync,
+    B: Clone + Send + Sync,
+    C: Clone + Send + Sync,
+{
+    assert_eq!(a.grid(), b.grid(), "operands must share a process grid");
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let grid = a.grid();
+    let row_dist = a.row_dist();
+    let col_dist = a.col_dist();
+    let blocks: Vec<CsrMatrix<C>> = par_ranks(grid.nprocs(), |rank| {
+        let (bi, bj) = grid.coords(rank);
+        let roff = row_dist.start(bi);
+        let coff = col_dist.start(bj);
+        ewise_intersect(a.block(bi, bj), b.block(bi, bj), |r, c, x, y| {
+            f(roff + r, coff + c, x, y)
+        })
+    });
+    DistMat2D::from_block_fn(grid, a.nrows(), a.ncols(), |i, j| blocks[grid.rank_of(i, j)].clone())
+}
+
+/// The set difference `nonzeros(a) \ nonzeros(mask)` on identically-distributed
+/// matrices (line 9 of Algorithm 2).
+pub fn set_difference_dist<A, M>(a: &DistMat2D<A>, mask: &DistMat2D<M>) -> DistMat2D<A>
+where
+    A: Clone + Send + Sync,
+    M: Clone + Send + Sync,
+{
+    assert_eq!(a.grid(), mask.grid(), "operands must share a process grid");
+    assert_eq!(a.nrows(), mask.nrows());
+    assert_eq!(a.ncols(), mask.ncols());
+    let grid = a.grid();
+    let blocks: Vec<CsrMatrix<A>> = par_ranks(grid.nprocs(), |rank| {
+        let (bi, bj) = grid.coords(rank);
+        set_difference(a.block(bi, bj), mask.block(bi, bj))
+    });
+    DistMat2D::from_block_fn(grid, a.nrows(), a.ncols(), |i, j| blocks[grid.rank_of(i, j)].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_dist::ProcessGrid;
+    use dibella_sparse::Triples;
+
+    fn dist(entries: Vec<(usize, usize, i64)>, n: usize, p: usize) -> DistMat2D<i64> {
+        DistMat2D::from_triples(ProcessGrid::square(p), &Triples::from_entries(n, n, entries))
+    }
+
+    #[test]
+    fn dist_intersect_matches_local_intersect() {
+        let a = dist(vec![(0, 1, 10), (2, 3, 20), (5, 5, 30), (7, 0, 40)], 8, 4);
+        let b = dist(vec![(0, 1, 1), (5, 5, 2), (6, 6, 3)], 8, 4);
+        let c = ewise_intersect_dist(&a, &b, |_, _, x, y| Some(x + y));
+        let local = ewise_intersect(&a.to_local_csr(), &b.to_local_csr(), |_, _, x, y| Some(x + y));
+        assert_eq!(c.to_local_csr(), local);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn dist_intersect_passes_global_coordinates() {
+        let a = dist(vec![(6, 7, 1)], 8, 4);
+        let b = dist(vec![(6, 7, 2)], 8, 4);
+        let c = ewise_intersect_dist(&a, &b, |r, col, _, _| Some((r * 10 + col) as i64));
+        assert_eq!(c.get(6, 7), Some(&67));
+    }
+
+    #[test]
+    fn dist_set_difference_matches_local() {
+        let a = dist(vec![(0, 0, 1), (1, 2, 2), (3, 3, 3), (7, 7, 4)], 8, 4);
+        let mask = dist(vec![(1, 2, 99), (7, 7, 99)], 8, 4);
+        let d = set_difference_dist(&a, &mask);
+        let local = set_difference(&a.to_local_csr(), &mask.to_local_csr());
+        assert_eq!(d.to_local_csr(), local);
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(d.get(0, 0), Some(&1));
+        assert_eq!(d.get(1, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a process grid")]
+    fn mismatched_grids_are_rejected() {
+        let a = dist(vec![(0, 0, 1)], 8, 4);
+        let b = dist(vec![(0, 0, 1)], 8, 1);
+        let _ = set_difference_dist(&a, &b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Compare the three overlap-detection strategies the paper discusses on one
+//! simulated dataset: diBELLA 2D (SpGEMM + alignment), diBELLA 1D (outer
+//! product + alignment) and a minimap2-style minimizer overlapper (no
+//! alignment).
+//!
+//! ```bash
+//! cargo run --release --example compare_overlappers
+//! ```
+
+use dibella2d::prelude::*;
+use dibella2d::seq::count_kmers_distributed;
+use std::time::Instant;
+
+fn main() {
+    let dataset = DatasetSpec::EColiLike.generate_with_length(30_000, 21);
+    println!(
+        "dataset: {} reads, {:.1}x depth, {:.0} bp mean read length\n",
+        dataset.num_reads(),
+        dataset.achieved_depth(),
+        dataset.mean_read_length()
+    );
+    let nprocs = 16;
+    let config = PipelineConfig::for_benchmark(17, dataset.config.error_rate, nprocs);
+
+    // Ground truth from the simulator: pairs of reads whose genomic intervals
+    // overlap by at least the pipeline's minimum overlap.
+    let min_overlap = config.overlap.alignment.min_overlap;
+    let mut truth = std::collections::HashSet::new();
+    for i in 0..dataset.num_reads() {
+        for j in (i + 1)..dataset.num_reads() {
+            if dataset.true_overlap(i, j) >= min_overlap {
+                truth.insert((i, j));
+            }
+        }
+    }
+    println!("ground-truth overlapping pairs (>= {min_overlap} bp): {}\n", truth.len());
+
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "method", "pairs", "recall%", "prec.%", "time (s)", "comm words"
+    );
+
+    // diBELLA 2D.
+    {
+        let comm = CommStats::new();
+        let table = count_kmers_distributed(&dataset.reads, &config.kmer, nprocs, &comm);
+        let start = Instant::now();
+        let out = run_overlap_2d(
+            &dataset.reads,
+            &table,
+            &config.overlap,
+            ProcessGrid::square_at_most(nprocs),
+            &comm,
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        report("diBELLA 2D (SpGEMM)", pairs_of(&out.overlaps), &truth, elapsed, comm.snapshot().total_words());
+    }
+
+    // diBELLA 1D.
+    {
+        let comm = CommStats::new();
+        let table = count_kmers_distributed(&dataset.reads, &config.kmer, nprocs, &comm);
+        let start = Instant::now();
+        let out = run_overlap_1d(&dataset.reads, &table, &config.overlap, nprocs, &comm);
+        let elapsed = start.elapsed().as_secs_f64();
+        report("diBELLA 1D (hash)", pairs_of(&out.overlaps), &truth, elapsed, comm.snapshot().total_words());
+    }
+
+    // Minimizer overlapper (shared-memory, no alignment — like minimap2).
+    {
+        let start = Instant::now();
+        let cfg = MinimizerConfig { min_span: min_overlap, ..MinimizerConfig::default() };
+        let found = minimizer_overlaps(&dataset.reads, &cfg);
+        let elapsed = start.elapsed().as_secs_f64();
+        let pairs: std::collections::HashSet<(usize, usize)> =
+            found.iter().map(|o| (o.read_a, o.read_b)).collect();
+        report("minimizer (no align)", pairs, &truth, elapsed, 0);
+    }
+
+    println!(
+        "\nNote: the minimizer overlapper skips base-level alignment, which is why it is fast\n\
+         but reports approximate overlaps; the paper makes the same observation about minimap2."
+    );
+}
+
+fn pairs_of(
+    overlaps: &dibella2d::sparse::DistMat2D<OverlapEdge>,
+) -> std::collections::HashSet<(usize, usize)> {
+    overlaps
+        .to_triples()
+        .iter()
+        .filter(|(i, j, _)| i < j)
+        .map(|(i, j, _)| (i, j))
+        .collect()
+}
+
+fn report(
+    name: &str,
+    found: std::collections::HashSet<(usize, usize)>,
+    truth: &std::collections::HashSet<(usize, usize)>,
+    elapsed: f64,
+    comm_words: u64,
+) {
+    let true_pos = found.intersection(truth).count();
+    let recall = 100.0 * true_pos as f64 / truth.len().max(1) as f64;
+    let precision = 100.0 * true_pos as f64 / found.len().max(1) as f64;
+    println!(
+        "{name:<22} {:>9} {recall:>8.1} {precision:>8.1} {elapsed:>10.2} {comm_words:>10}",
+        found.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: simulate a small long-read dataset, run the diBELLA 2D
+//! pipeline, and inspect the resulting string graph and contig layouts.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use dibella2d::prelude::*;
+
+fn main() {
+    // 1. Input.  The paper runs on PacBio CLR FASTA files; here we simulate a
+    //    small dataset with the same statistics (depth, read length, error
+    //    rate) so the example runs in seconds.
+    let dataset = DatasetSpec::EColiLike.generate_with_length(40_000, 7);
+    println!(
+        "simulated {}: {} reads, mean length {:.0} bp, depth {:.1}x, genome {} bp",
+        dataset.label,
+        dataset.num_reads(),
+        dataset.mean_read_length(),
+        dataset.achieved_depth(),
+        dataset.genome.len()
+    );
+
+    // 2. Configure the pipeline.  `for_benchmark` mirrors the paper's settings
+    //    (k = 17, BELLA-style reliable k-mer bounds) adapted to the scaled
+    //    read length; `nprocs` is the number of virtual MPI ranks.
+    let config = PipelineConfig::for_benchmark(17, dataset.config.error_rate, 16);
+
+    // 3. Run Algorithm 1: k-mer counting, C = A·Aᵀ, alignment, pruning, and
+    //    the transitive reduction of Algorithm 2.
+    let comm = CommStats::new();
+    let out = run_dibella_2d_on_reads(&dataset.reads, &config, &comm);
+
+    println!("\n== pipeline summary ==");
+    println!("reliable k-mers (m):        {}", out.dims.kmers);
+    println!("candidate pairs:            {}", out.overlap_stats.candidate_pairs);
+    println!("aligned pairs:              {}", out.overlap_stats.aligned_pairs);
+    println!("accepted overlaps:          {}", out.overlap_stats.dovetail);
+    println!("contained reads removed:    {}", out.overlap_stats.contained_reads);
+    println!("overlap matrix nnz (R):     {}", out.overlap_matrix.nnz());
+    println!("string matrix nnz (S):      {}", out.string_matrix.nnz());
+    println!("transitive edges removed:   {}", out.tr_summary.removed_edges);
+    println!("TR iterations:              {}", out.tr_summary.iterations);
+
+    println!("\n== stage timings (s) ==");
+    for (label, value) in StageTimings::LABELS.iter().zip(out.timings.values()) {
+        println!("{label:>14}: {value:8.3}");
+    }
+    println!("{:>14}: {:8.3}", "Total", out.timings.total());
+
+    println!("\n== communication (virtual {} ranks) ==", out.grid.nprocs());
+    for (phase, counters) in &out.comm.phases {
+        println!(
+            "{phase:>22}: {:>12} words, {:>8} messages",
+            counters.words, counters.messages
+        );
+    }
+
+    // 4. Extract contig layouts from the string graph (the hand-off to the
+    //    consensus step of OLC).
+    let lengths: Vec<usize> = (0..dataset.reads.len()).map(|i| dataset.reads.seq(i).len()).collect();
+    let contigs = extract_contigs(&out.string_matrix.to_local_csr(), &lengths);
+    let multi_read = contigs.iter().filter(|c| c.reads.len() > 1).count();
+    println!("\n== contigs ==");
+    println!("contig layouts:             {}", contigs.len());
+    println!("multi-read contigs:         {multi_read}");
+    if let Some(largest) = contigs.first() {
+        println!(
+            "largest contig:             {} reads, ~{} bp (genome is {} bp)",
+            largest.reads.len(),
+            largest.estimated_length,
+            dataset.genome.len()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! # dibella2d — a Rust reproduction of diBELLA 2D
+//!
+//! Parallel string graph construction and transitive reduction for de novo
+//! long-read genome assembly, after Guidi et al., *"Parallel String Graph
+//! Construction and Transitive Reduction for De Novo Genome Assembly"*
+//! (IPDPS 2021).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`dist`] — virtual process grid, collectives, communication accounting;
+//! * [`sparse`] — sparse matrices, semirings, Sparse SUMMA, 1D outer-product;
+//! * [`seq`] — DNA/k-mer types, FASTA I/O, read simulation, k-mer counting;
+//! * [`align`] — x-drop seed-and-extend alignment and overlap classification;
+//! * [`overlap`] — overlap detection as distributed SpGEMM plus baselines;
+//! * [`strgraph`] — transitive reduction (Algorithm 2), Myers/SORA baselines,
+//!   string-graph utilities and contig extraction;
+//! * [`pipeline`] — the end-to-end diBELLA 2D and 1D pipelines with stage
+//!   timings and the Table I communication model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dibella2d::prelude::*;
+//!
+//! // Simulate a tiny long-read dataset (substitute for PacBio CLR input).
+//! let dataset = DatasetSpec::Tiny.generate(1);
+//!
+//! // Run the diBELLA 2D pipeline on 4 virtual ranks.
+//! let config = PipelineConfig::for_small_reads(13, 4);
+//! let comm = CommStats::new();
+//! let out = run_dibella_2d_on_reads(&dataset.reads, &config, &comm);
+//!
+//! assert!(out.string_matrix.nnz() > 0);
+//! assert!(out.string_matrix.nnz() <= out.overlap_matrix.nnz());
+//! println!(
+//!     "{} reads -> {} overlaps -> {} string-graph edges in {} TR rounds",
+//!     dataset.reads.len(),
+//!     out.overlap_matrix.nnz() / 2,
+//!     out.string_matrix.nnz() / 2,
+//!     out.tr_summary.iterations,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dibella_align as align;
+pub use dibella_dist as dist;
+pub use dibella_overlap as overlap;
+pub use dibella_pipeline as pipeline;
+pub use dibella_seq as seq;
+pub use dibella_sparse as sparse;
+pub use dibella_strgraph as strgraph;
+
+/// The most commonly used types and entry points, in one import.
+pub mod prelude {
+    pub use dibella_align::{AlignmentConfig, BidirectedDir, OverlapClass, ScoringScheme};
+    pub use dibella_dist::{CommPhase, CommStats, ProcessGrid};
+    pub use dibella_overlap::{
+        minimizer_overlaps, run_overlap_1d, run_overlap_2d, MinimizerConfig, OverlapConfig,
+        OverlapEdge,
+    };
+    pub use dibella_pipeline::{
+        run_dibella_1d, run_dibella_2d, run_dibella_2d_on_reads, CommModel, ModelParams,
+        PipelineConfig, StageTimings,
+    };
+    pub use dibella_seq::{
+        parse_fasta, parse_fasta_file, write_fasta, DatasetSpec, DnaSeq, Kmer, KmerSelection,
+        ReadSet, Strand,
+    };
+    pub use dibella_sparse::{CsrMatrix, DistMat2D, Semiring, Triples};
+    pub use dibella_strgraph::{
+        extract_contigs, myers_transitive_reduction, sora_transitive_reduction,
+        transitive_reduction, BidirectedGraph, TransitiveReductionConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let ds = DatasetSpec::Tiny.generate(3);
+        let cfg = PipelineConfig::for_small_reads(13, 1);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &cfg, &comm);
+        let graph = BidirectedGraph::from_dist_matrix(&out.string_matrix);
+        assert_eq!(graph.num_vertices(), ds.reads.len());
+    }
+}
