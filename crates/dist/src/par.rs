@@ -1,0 +1,152 @@
+//! Parallel execution of per-rank work on scoped OS threads.
+//!
+//! In the real system every MPI rank computes on its own block; here the
+//! virtual ranks of a [`ProcessGrid`](crate::ProcessGrid) share one address
+//! space and their per-rank work is spread over OS threads.  Results are
+//! returned in rank order, so the outcome is identical to a sequential loop —
+//! determinism does not depend on the thread count, which
+//! [`with_threads`] lets tests pin down explicitly.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn current_threads() -> usize {
+    THREAD_OVERRIDE.with(|cell| {
+        cell.get().unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        })
+    })
+}
+
+/// Run `body` with the calling thread's worker count pinned to `threads`
+/// (affecting [`par_ranks`] / [`par_ranks_mut`] calls made inside), then
+/// restore the previous setting.
+pub fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|cell| cell.set(prev));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|cell| cell.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    body()
+}
+
+/// Evaluate `f(rank)` for every rank in `0..nprocs`, in parallel, returning
+/// the results in rank order.
+pub fn par_ranks<T, F>(nprocs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..nprocs).map(|_| None).collect();
+    par_ranks_mut(&mut slots, |rank, slot| *slot = Some(f(rank)));
+    slots.into_iter().map(|slot| slot.expect("worker thread filled every slot")).collect()
+}
+
+/// Apply `f(rank, &mut items[rank])` to every element, in parallel.
+pub fn par_ranks_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = current_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for (rank, item) in items.iter_mut().enumerate() {
+            f(rank, item);
+        }
+        return;
+    }
+    // Propagate this thread's pin (if any) into the workers so that nested
+    // par_ranks calls inside `f` honour `with_threads` as documented.
+    let pin = THREAD_OVERRIDE.with(|cell| cell.get());
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, item_chunk) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                if let Some(pin) = pin {
+                    THREAD_OVERRIDE.with(|cell| cell.set(Some(pin)));
+                }
+                for (offset, item) in item_chunk.iter_mut().enumerate() {
+                    f(chunk_idx * chunk + offset, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_rank_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let got = with_threads(threads, || par_ranks(17, |rank| rank * rank));
+            let want: Vec<usize> = (0..17).map(|r| r * r).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_rank_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let results = with_threads(4, || {
+            par_ranks(100, |rank| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                rank
+            })
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn par_ranks_mut_passes_matching_indices() {
+        for threads in [1usize, 2, 5] {
+            let mut items: Vec<usize> = vec![0; 23];
+            with_threads(threads, || par_ranks_mut(&mut items, |rank, item| *item = rank + 1));
+            for (rank, item) in items.iter().enumerate() {
+                assert_eq!(*item, rank + 1, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_one_rank_edge_cases() {
+        let empty: Vec<usize> = par_ranks(0, |r| r);
+        assert!(empty.is_empty());
+        assert_eq!(par_ranks(1, |r| r + 10), vec![10]);
+        let mut nothing: Vec<usize> = Vec::new();
+        par_ranks_mut(&mut nothing, |_, _| unreachable!("no items"));
+    }
+
+    #[test]
+    fn with_threads_pin_propagates_into_nested_par_ranks() {
+        // Worker threads spawned by the outer par_ranks must inherit the pin,
+        // so nested calls see the same worker count as the caller.
+        let observed = with_threads(2, || {
+            par_ranks(4, |_| THREAD_OVERRIDE.with(|cell| cell.get()))
+        });
+        assert_eq!(observed, vec![Some(2); 4]);
+    }
+
+    #[test]
+    fn with_threads_restores_the_previous_setting() {
+        let outer = with_threads(3, || {
+            let inner = with_threads(1, current_threads);
+            assert_eq!(inner, 1);
+            current_threads()
+        });
+        assert_eq!(outer, 3);
+    }
+}

@@ -18,7 +18,7 @@
 //!   set-difference.
 //! * [`distmat::DistMat2D`] — a matrix block-distributed over a
 //!   [`dibella_dist::ProcessGrid`].
-//! * [`summa`] — 2D Sparse SUMMA (`C = A·B` over a semiring) with
+//! * [`mod@summa`] — 2D Sparse SUMMA (`C = A·B` over a semiring) with
 //!   communication accounting, the direct analogue of CombBLAS' SpGEMM used in
 //!   the paper.
 //! * [`outer1d`] — the 1D outer-product SpGEMM that models diBELLA 1D's

@@ -3,7 +3,7 @@
 //! CombBLAS' local SpGEMM uses a hybrid hash/heap algorithm; we implement a
 //! row-wise Gustavson SpGEMM with hash-map accumulation, parallelised over the
 //! output rows with rayon.  The same kernel is reused by the SUMMA stages
-//! ([`crate::summa`]) and the 1D outer-product baseline ([`crate::outer1d`]),
+//! ([`mod@crate::summa`]) and the 1D outer-product baseline ([`crate::outer1d`]),
 //! which also needs the accumulate-into-existing-partial variant
 //! [`spgemm_accumulate`].
 

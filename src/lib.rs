@@ -17,6 +17,15 @@
 //! * [`pipeline`] — the end-to-end diBELLA 2D and 1D pipelines with stage
 //!   timings and the Table I communication model.
 //!
+//! The repository-level documentation complements the API docs:
+//! `README.md` (crate map, quick start, how to run the examples and the
+//! table/figure reproduction binaries under `crates/bench/src/bin/`),
+//! `DESIGN.md` (how the virtual
+//! process grid and counted collectives substitute for the MPI runtime) and
+//! `EXPERIMENTS.md` (the interconnect constants behind the simulated
+//! distributed runtimes, and what to compare against the paper).  `PAPER.md`
+//! holds the source paper's abstract.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -1,0 +1,130 @@
+//! Vendored stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io (see `vendor/README.md`),
+//! so this crate provides the three `par_iter` entry-point traits with the
+//! same names and method signatures as rayon's, returning **ordinary
+//! sequential iterators**.  Every adapter the workspace chains after them
+//! (`map`, `enumerate`, `filter_map`, `for_each`, `collect`, …) is then just a
+//! std `Iterator` method, so call sites compile unchanged against either this
+//! shim or the real rayon.
+//!
+//! Sequential execution is deterministic by construction, which is exactly
+//! what the diBELLA 2D reproduction needs: results must not depend on the
+//! virtual process count or the thread count.  Real multi-core parallelism
+//! for the per-rank loops lives in `dibella_dist::par_ranks`, which uses
+//! scoped std threads and does not go through this shim.
+//!
+//! Swapping in the real rayon is a one-line change in the workspace manifest.
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+/// Marker alias for rayon's `ParallelIterator`.  In this sequential shim every
+/// std iterator qualifies, so adapter chains type-check identically.
+pub trait ParallelIterator: Iterator + Sized {}
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `into_par_iter()` — by-value iteration, rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item;
+    /// Concrete iterator type (sequential in this shim).
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert `self` into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` — by-shared-reference iteration, rayon's
+/// `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type produced by the iterator.
+    type Item: 'data;
+    /// Concrete iterator type (sequential in this shim).
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate `&self` as a (sequential) "parallel" iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` — by-mutable-reference iteration, rayon's
+/// `IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type produced by the iterator.
+    type Item: 'data;
+    /// Concrete iterator type (sequential in this shim).
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate `&mut self` as a (sequential) "parallel" iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_compose_like_rayon() {
+        let v = vec![1i64, 2, 3, 4];
+        let doubled: Vec<i64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let indexed: Vec<(usize, i64)> = v.clone().into_par_iter().enumerate().collect();
+        assert_eq!(indexed[3], (3, 4));
+        let mut w = v;
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4, 5]);
+        let r: Vec<usize> = (0..4usize).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let v = vec![1i64, -2, 3];
+        let r: Result<Vec<i64>, String> = v
+            .into_par_iter()
+            .map(|x| if x < 0 { Err("negative".to_string()) } else { Ok(x) })
+            .collect();
+        assert!(r.is_err());
+    }
+}

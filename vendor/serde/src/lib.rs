@@ -1,0 +1,27 @@
+//! Vendored stand-in for the `serde` derive macros.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the minimal surface it actually uses (see
+//! `vendor/README.md`).  The diBELLA 2D crates only *annotate* types with
+//! `#[derive(Serialize, Deserialize)]` so that downstream users can flip the
+//! real `serde` back on; nothing in the workspace serialises at runtime.
+//! These derives therefore expand to nothing, and `#[serde(...)]` field
+//! attributes are accepted and ignored.
+//!
+//! Swapping in the real `serde` is a one-line change in the workspace
+//! manifest (`serde = { version = "1", features = ["derive"] }` instead of
+//! the `vendor/serde` path).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize` (derive macro only).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize` (derive macro only).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
