@@ -1,10 +1,29 @@
-//! Criterion micro-benchmarks for the SpGEMM kernels: local Gustavson,
-//! 2D Sparse SUMMA and the 1D outer-product algorithm.
+//! Criterion micro-benchmarks for the SpGEMM kernels — local Gustavson,
+//! 2D Sparse SUMMA and the 1D outer-product algorithm — plus the
+//! kernel-regression comparison that writes `BENCH_spgemm.json`.
+//!
+//! The JSON artifact pits the current accumulator-based kernels against the
+//! pre-refactor per-row-`HashMap` kernel (`local_spgemm_baseline`) on the
+//! `DatasetSpec::Small` overlap workload (`C = A·Aᵀ` over the shared-k-mer
+//! semiring) and on a uniform random `PlusTimes` product, recording the
+//! speedups, the useful-flop rate, accumulator probes and peak row width.
+//! CI runs this bench at every push to maintain the perf trajectory
+//! (`DIBELLA_BENCH_OUT` overrides the artifact path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dibella_dist::{CommPhase, CommStats, ProcessGrid};
-use dibella_sparse::outer1d::outer1d_spgemm;
-use dibella_sparse::{local_spgemm, summa, CsrMatrix, DistMat2D, PlusTimes, Triples};
+use dibella_overlap::{build_a_matrix, OverlapSemiring};
+use dibella_seq::{count_kmers_serial, DatasetSpec, KmerSelection};
+use dibella_sparse::accum::FlopCounter;
+use dibella_sparse::outer1d::outer1d_abt;
+use dibella_sparse::spgemm::{
+    local_spgemm_aat_counted, local_spgemm_abt_counted, local_spgemm_counted,
+};
+use dibella_sparse::{
+    local_spgemm, local_spgemm_baseline, summa, summa_abt, CsrMatrix, DistMat2D, PlusTimes,
+    Triples,
+};
+use std::time::{Duration, Instant};
 
 fn random_matrix(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix<i64> {
     let mut t = Triples::new(nrows, ncols);
@@ -21,6 +40,20 @@ fn random_matrix(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix
     CsrMatrix::from_triples(&t)
 }
 
+/// Mean wall-clock seconds of `f`: one warm-up call, then samples until the
+/// time budget and at least `min_samples` calls are spent.
+fn measure<T>(budget: Duration, min_samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while started.elapsed() < budget || samples.len() < min_samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
 fn bench_spgemm(c: &mut Criterion) {
     let n = 2_000;
     let a = random_matrix(n, n, 20 * n, 7);
@@ -31,6 +64,9 @@ fn bench_spgemm(c: &mut Criterion) {
 
     group.bench_function("local_gustavson_2k_x_20nnz", |bencher| {
         bencher.iter(|| local_spgemm::<PlusTimes<i64>>(&a, &b))
+    });
+    group.bench_function("local_baseline_hashmap_2k_x_20nnz", |bencher| {
+        bencher.iter(|| local_spgemm_baseline::<PlusTimes<i64>>(&a, &b))
     });
 
     for p in [4usize, 16] {
@@ -43,15 +79,216 @@ fn bench_spgemm(c: &mut Criterion) {
                 summa::<PlusTimes<i64>>(&da, &db, &stats, CommPhase::OverlapDetection)
             })
         });
-        group.bench_with_input(BenchmarkId::new("outer_product_1d", p), &p, |bencher, _| {
+        group.bench_with_input(BenchmarkId::new("summa_2d_aat", p), &p, |bencher, _| {
             bencher.iter(|| {
                 let stats = CommStats::new();
-                outer1d_spgemm::<PlusTimes<i64>>(&a, &b, p, &stats, CommPhase::OverlapDetection)
+                summa_abt::<PlusTimes<i64>>(&da, &da, &stats, CommPhase::OverlapDetection)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("outer_product_1d_aat", p), &p, |bencher, _| {
+            bencher.iter(|| {
+                let stats = CommStats::new();
+                outer1d_abt::<PlusTimes<i64>>(&a, &a, p, &stats, CommPhase::OverlapDetection)
             })
         });
     }
     group.finish();
 }
 
+/// A faithful reconstruction of the **pre-refactor** `C = A·Aᵀ` SpGEMM path
+/// (what `detect_candidates_2d` executed before the accumulator refactor):
+/// materialise the distributed transpose, then per SUMMA stage run a
+/// per-row-`HashMap` Gustavson multiply and fold it into the partial rows
+/// with a sorted two-way merge, finally cloning the blocks into the result.
+fn prerefactor_summa_aat(
+    a: &DistMat2D<dibella_overlap::KmerOccurrence>,
+) -> DistMat2D<dibella_overlap::CommonKmers> {
+    use dibella_overlap::CommonKmers;
+    use dibella_sparse::spgemm::{merge_rows, rows_to_csr};
+    use dibella_sparse::Semiring;
+    use std::collections::HashMap;
+
+    let at = a.transpose();
+    let grid = a.grid();
+    let stages = grid.cols();
+    let row_dist = a.row_dist();
+    let col_dist = at.col_dist();
+    let blocks: Vec<CsrMatrix<CommonKmers>> =
+        dibella_dist::par_ranks(grid.nprocs(), |rank| {
+            let (i, j) = grid.coords(rank);
+            let out_rows = row_dist.size(i);
+            let mut partial: Vec<Vec<(usize, CommonKmers)>> = vec![Vec::new(); out_rows];
+            for k in 0..stages {
+                let a_block = a.block(i, k);
+                let b_block = at.block(k, j);
+                if a_block.is_empty() || b_block.is_empty() {
+                    continue;
+                }
+                for r in 0..out_rows {
+                    let mut acc: HashMap<usize, CommonKmers> = HashMap::new();
+                    for (kk, aval) in a_block.row(r) {
+                        for (jj, bval) in b_block.row(kk) {
+                            if let Some(prod) =
+                                <OverlapSemiring as Semiring>::multiply(aval, bval)
+                            {
+                                match acc.entry(jj) {
+                                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                                        <OverlapSemiring as Semiring>::add(e.get_mut(), prod);
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        e.insert(prod);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let mut new_row: Vec<(usize, CommonKmers)> = acc.into_iter().collect();
+                    new_row.sort_unstable_by_key(|(c, _)| *c);
+                    if new_row.is_empty() {
+                        continue;
+                    }
+                    if partial[r].is_empty() {
+                        partial[r] = new_row;
+                    } else {
+                        partial[r] =
+                            merge_rows::<OverlapSemiring>(std::mem::take(&mut partial[r]), new_row);
+                    }
+                }
+            }
+            rows_to_csr(out_rows, col_dist.size(j), partial)
+        });
+    DistMat2D::from_block_fn(grid, a.nrows(), at.ncols(), |i, j| {
+        blocks[grid.rank_of(i, j)].clone()
+    })
+}
+
+/// The kernel-regression comparison recorded as `BENCH_spgemm.json`.
+fn baseline_comparison() {
+    let budget = Duration::from_millis(400);
+
+    // The real workload: C = A·Aᵀ over the shared-k-mer semiring on the
+    // Small benchmark dataset (what `detect_candidates_2d` computes).
+    let ds = dibella_bench::benchmark_dataset(DatasetSpec::Small, 77);
+    let k = 15;
+    let sel = KmerSelection { k, min_count: 2, max_count: 120 };
+    let table = count_kmers_serial(&ds.reads, &sel);
+    let a = build_a_matrix(&ds.reads, &table, k, ProcessGrid::square(1), 1);
+    let a_local = a.to_local_csr();
+
+    let grid = ProcessGrid::square(4);
+    let da = DistMat2D::from_triples(grid, &a_local.to_triples());
+    // Pre-refactor SpGEMM path at P=4: distributed transpose + per-stage
+    // HashMap multiplies folded in with sorted merges + block clones.
+    let baseline_secs = measure(budget, 3, || prerefactor_summa_aat(&da));
+    // Current path at P=4: transpose-free summa_abt on reusable accumulators,
+    // all stages accumulated in place.
+    let new_secs = measure(budget, 3, || {
+        let stats = CommStats::new();
+        summa_abt::<OverlapSemiring>(&da, &da, &stats, CommPhase::OverlapDetection)
+    });
+    // Local (single-block) kernels, for the finer-grained trajectory.
+    let local_baseline_secs = measure(budget, 3, || {
+        local_spgemm_baseline::<OverlapSemiring>(&a_local, &a_local.transpose())
+    });
+    let local_sym_secs = measure(budget, 3, || {
+        local_spgemm_aat_counted::<OverlapSemiring>(&a_local, &FlopCounter::new())
+    });
+    let abt_secs = measure(budget, 3, || {
+        local_spgemm_abt_counted::<OverlapSemiring>(&a_local, &a_local, &FlopCounter::new())
+    });
+
+    // One counted run for the arithmetic tallies and the output size.
+    let flops = FlopCounter::new();
+    let c_mat = local_spgemm_aat_counted::<OverlapSemiring>(&a_local, &flops);
+
+    // A uniform random PlusTimes product exercises the dense-SPA fast path.
+    let n = 2_000;
+    let ra = random_matrix(n, n, 20 * n, 7);
+    let rb = random_matrix(n, n, 20 * n, 8);
+    let random_baseline_secs =
+        measure(budget, 3, || local_spgemm_baseline::<PlusTimes<i64>>(&ra, &rb));
+    let random_new_secs = measure(budget, 3, || {
+        local_spgemm_counted::<PlusTimes<i64>>(&ra, &rb, &FlopCounter::new())
+    });
+
+    let speedup = baseline_secs / new_secs;
+    let local_speedup = local_baseline_secs / local_sym_secs;
+    let random_speedup = random_baseline_secs / random_new_secs;
+    let mflops = flops.flops() as f64 / local_sym_secs / 1e6;
+
+    println!("\nspgemm kernel regression (DatasetSpec::Small, C = A·Aᵀ, overlap semiring)");
+    println!("  reads={} kmers={} nnz(A)={} nnz(C)={}", a_local.nrows(), a_local.ncols(), a_local.nnz(), c_mat.nnz());
+    println!("  pre-refactor SUMMA path, P=4:       {:>10.3} ms   (transpose + HashMap/row + stage merges)", baseline_secs * 1e3);
+    println!("  summa_abt, P=4:                     {:>10.3} ms  ({speedup:.2}x)", new_secs * 1e3);
+    println!("  local baseline (HashMap + Aᵀ):      {:>10.3} ms", local_baseline_secs * 1e3);
+    println!("  local symmetric (upper + mirror):   {:>10.3} ms  ({local_speedup:.2}x)", local_sym_secs * 1e3);
+    println!("  local general A·Bᵀ (CSC view):      {:>10.3} ms", abt_secs * 1e3);
+    println!("  useful flops: {} ({mflops:.1} Mflop/s), probes: {}, peak row width: {}",
+        flops.flops(), flops.probes(), flops.peak_row_width());
+    println!("  random 2k PlusTimes: baseline {:.3} ms vs {:.3} ms ({random_speedup:.2}x)",
+        random_baseline_secs * 1e3, random_new_secs * 1e3);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"spgemm\",\n",
+            "  \"dataset\": \"{dataset}\",\n",
+            "  \"threads\": {threads},\n",
+            "  \"reads\": {reads},\n",
+            "  \"kmers\": {kmers},\n",
+            "  \"a_nnz\": {a_nnz},\n",
+            "  \"c_nnz\": {c_nnz},\n",
+            "  \"baseline_secs\": {baseline:.6},\n",
+            "  \"new_secs\": {new:.6},\n",
+            "  \"baseline_speedup\": {speedup:.3},\n",
+            "  \"local_baseline_secs\": {lbase:.6},\n",
+            "  \"local_sym_secs\": {lsym:.6},\n",
+            "  \"local_speedup\": {lspeed:.3},\n",
+            "  \"general_abt_secs\": {abt:.6},\n",
+            "  \"useful_flops\": {flops},\n",
+            "  \"mflops_per_sec\": {mflops:.2},\n",
+            "  \"accumulator_probes\": {probes},\n",
+            "  \"peak_row_width\": {peak},\n",
+            "  \"random_2k_baseline_secs\": {rb:.6},\n",
+            "  \"random_2k_new_secs\": {rn:.6},\n",
+            "  \"random_2k_speedup\": {rs:.3}\n",
+            "}}\n"
+        ),
+        dataset = DatasetSpec::Small.label(),
+        threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        reads = a_local.nrows(),
+        kmers = a_local.ncols(),
+        a_nnz = a_local.nnz(),
+        c_nnz = c_mat.nnz(),
+        baseline = baseline_secs,
+        new = new_secs,
+        speedup = speedup,
+        lbase = local_baseline_secs,
+        lsym = local_sym_secs,
+        lspeed = local_speedup,
+        abt = abt_secs,
+        flops = flops.flops(),
+        mflops = mflops,
+        probes = flops.probes(),
+        peak = flops.peak_row_width(),
+        rb = random_baseline_secs,
+        rn = random_new_secs,
+        rs = random_speedup,
+    );
+    // Default to the workspace root (cargo bench runs with the package dir
+    // as cwd); DIBELLA_BENCH_OUT overrides.
+    let out_path = std::env::var("DIBELLA_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spgemm.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_spgemm);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    baseline_comparison();
+}

@@ -10,8 +10,10 @@
 //! cargo run --release -p dibella-bench --bin fig5_8_breakdown
 //! ```
 
-use dibella_bench::{benchmark_dataset, fmt, print_header, print_row, SimulatedBreakdown};
-use dibella_dist::CommStats;
+use dibella_bench::{
+    benchmark_dataset, fmt, phase_flop_rate, print_header, print_row, SimulatedBreakdown,
+};
+use dibella_dist::{CommPhase, CommStats};
 use dibella_pipeline::{run_dibella_2d, PipelineConfig, StageTimings};
 use dibella_seq::{write_fasta, DatasetSpec};
 
@@ -49,6 +51,19 @@ fn main() {
                 measured.push(fmt(out.timings.total()));
                 measured.push(fmt(out.timings.total_without_alignment()));
                 print_row(&measured);
+
+                // Flops accounting from the SpGEMM accumulators, per phase.
+                let (spgemm_flops, spgemm_rate) =
+                    phase_flop_rate(&out.comm, CommPhase::OverlapDetection, out.timings.spgemm);
+                let (tr_flops, tr_rate) = phase_flop_rate(
+                    &out.comm,
+                    CommPhase::TransitiveReduction,
+                    out.timings.tr_reduction,
+                );
+                println!(
+                    "  SpGEMM (AAᵀ): {spgemm_flops} useful flops at {spgemm_rate:.1} Mflop/s; \
+                     TrReduction squarings: {tr_flops} flops at {tr_rate:.1} Mflop/s"
+                );
             }
         }
         println!("  (*) single-host wall clock of the run used for the first projection\n");

@@ -44,6 +44,7 @@ pub fn genome_length_for(spec: DatasetSpec) -> usize {
         DatasetSpec::EColiLike => 60_000,
         DatasetSpec::CElegansLike => 50_000,
         DatasetSpec::HSapiensLike => 150_000,
+        DatasetSpec::Small => 60_000,
         DatasetSpec::Tiny => 4_000,
     };
     let scale: f64 = std::env::var("DIBELLA_BENCH_SCALE")
@@ -158,6 +159,16 @@ impl SimulatedBreakdown {
             self.tr_reduction,
         ]
     }
+}
+
+/// Useful SpGEMM flops a phase recorded (via `dibella_sparse::summa`'s
+/// `FlopCounter` plumbing) and the resulting measured flop rate in Mflop/s
+/// given the phase's measured wall-clock seconds.
+pub fn phase_flop_rate(comm: &CommSnapshot, phase: CommPhase, secs: f64) -> (u64, f64) {
+    let flops =
+        comm.extras.get(&dibella_sparse::summa::flops_key(phase)).copied().unwrap_or(0);
+    let rate = if secs > 0.0 { flops as f64 / secs / 1e6 } else { 0.0 };
+    (flops, rate)
 }
 
 /// Pretty-print a row of pipe-separated cells with a fixed width.

@@ -133,6 +133,19 @@ impl CommStats {
         *inner.extras.entry(key.to_string()).or_insert(0) += amount;
     }
 
+    /// Raise the named auxiliary counter to `value` if it is larger (a
+    /// maximum-tracking extra, e.g. the peak SpGEMM accumulator row width).
+    pub fn max_extra(&self, key: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.extras.entry(key.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Current value of the named auxiliary counter (0 if never recorded).
+    pub fn extra(&self, key: &str) -> u64 {
+        self.inner.lock().unwrap().extras.get(key).copied().unwrap_or(0)
+    }
+
     /// Words recorded for `phase` so far.
     pub fn words(&self, phase: CommPhase) -> u64 {
         self.inner.lock().unwrap().phase(phase).words
@@ -203,6 +216,17 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.extras.get("summa_stages"), Some(&5));
         assert!(snap.extras.contains_key("tr_iterations"));
+    }
+
+    #[test]
+    fn max_extra_keeps_the_maximum_and_extra_reads_back() {
+        let stats = CommStats::new();
+        stats.max_extra("spgemm_peak_row_width", 12);
+        stats.max_extra("spgemm_peak_row_width", 7);
+        stats.max_extra("spgemm_peak_row_width", 31);
+        assert_eq!(stats.extra("spgemm_peak_row_width"), 31);
+        assert_eq!(stats.extra("never_recorded"), 0);
+        assert_eq!(stats.snapshot().extras.get("spgemm_peak_row_width"), Some(&31));
     }
 
     #[test]

@@ -1,41 +1,26 @@
-//! Parallel execution of per-rank work on scoped OS threads.
+//! Parallel execution of per-rank work on the shared work-stealing pool.
 //!
 //! In the real system every MPI rank computes on its own block; here the
 //! virtual ranks of a [`ProcessGrid`](crate::ProcessGrid) share one address
-//! space and their per-rank work is spread over OS threads.  Results are
-//! returned in rank order, so the outcome is identical to a sequential loop —
-//! determinism does not depend on the thread count, which
-//! [`with_threads`] lets tests pin down explicitly.
+//! space and their per-rank work is spread over OS threads by the
+//! work-stealing pool in the (vendored) `rayon` crate.  Results are returned
+//! in rank order, so the outcome is identical to a sequential loop —
+//! determinism does not depend on the thread count, which [`with_threads`]
+//! lets tests pin down explicitly.
+//!
+//! Because the pool's thread budget is global, the per-rank loops here and
+//! the per-row loops inside the local SpGEMM kernels share one set of
+//! workers: a large grid parallelises across ranks, a small grid leaves
+//! budget for row-level parallelism inside each block multiply.
 
-use std::cell::Cell;
-use std::num::NonZeroUsize;
-
-thread_local! {
-    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn current_threads() -> usize {
-    THREAD_OVERRIDE.with(|cell| {
-        cell.get().unwrap_or_else(|| {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-        })
-    })
-}
+use rayon::pool;
 
 /// Run `body` with the calling thread's worker count pinned to `threads`
-/// (affecting [`par_ranks`] / [`par_ranks_mut`] calls made inside), then
-/// restore the previous setting.
+/// (affecting [`par_ranks`] / [`par_ranks_mut`] calls and every `par_iter`
+/// made inside, including from nested worker threads), then restore the
+/// previous setting.
 pub fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
-    struct Restore(Option<usize>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            let prev = self.0;
-            THREAD_OVERRIDE.with(|cell| cell.set(prev));
-        }
-    }
-    let prev = THREAD_OVERRIDE.with(|cell| cell.replace(Some(threads.max(1))));
-    let _restore = Restore(prev);
-    body()
+    pool::with_thread_limit(threads, body)
 }
 
 /// Evaluate `f(rank)` for every rank in `0..nprocs`, in parallel, returning
@@ -45,9 +30,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let mut slots: Vec<Option<T>> = (0..nprocs).map(|_| None).collect();
-    par_ranks_mut(&mut slots, |rank, slot| *slot = Some(f(rank)));
-    slots.into_iter().map(|slot| slot.expect("worker thread filled every slot")).collect()
+    pool::map_indexed(nprocs, f)
 }
 
 /// Apply `f(rank, &mut items[rank])` to every element, in parallel.
@@ -56,31 +39,7 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    let n = items.len();
-    let threads = current_threads().min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        for (rank, item) in items.iter_mut().enumerate() {
-            f(rank, item);
-        }
-        return;
-    }
-    // Propagate this thread's pin (if any) into the workers so that nested
-    // par_ranks calls inside `f` honour `with_threads` as documented.
-    let pin = THREAD_OVERRIDE.with(|cell| cell.get());
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (chunk_idx, item_chunk) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                if let Some(pin) = pin {
-                    THREAD_OVERRIDE.with(|cell| cell.set(Some(pin)));
-                }
-                for (offset, item) in item_chunk.iter_mut().enumerate() {
-                    f(chunk_idx * chunk + offset, item);
-                }
-            });
-        }
-    });
+    pool::for_each_mut(items, f)
 }
 
 #[cfg(test)]
@@ -134,18 +93,16 @@ mod tests {
     fn with_threads_pin_propagates_into_nested_par_ranks() {
         // Worker threads spawned by the outer par_ranks must inherit the pin,
         // so nested calls see the same worker count as the caller.
-        let observed = with_threads(2, || {
-            par_ranks(4, |_| THREAD_OVERRIDE.with(|cell| cell.get()))
-        });
-        assert_eq!(observed, vec![Some(2); 4]);
+        let observed = with_threads(2, || par_ranks(4, |_| pool::current_thread_limit()));
+        assert_eq!(observed, vec![2; 4]);
     }
 
     #[test]
     fn with_threads_restores_the_previous_setting() {
         let outer = with_threads(3, || {
-            let inner = with_threads(1, current_threads);
+            let inner = with_threads(1, pool::current_thread_limit);
             assert_eq!(inner, 1);
-            current_threads()
+            pool::current_thread_limit()
         });
         assert_eq!(outer, 3);
     }

@@ -14,7 +14,7 @@ use crate::types::{CommonKmers, KmerOccurrence, OverlapEdge};
 use dibella_align::{align_seed_pair, classify_alignment, AlignmentConfig, OverlapClass};
 use dibella_dist::{BlockDist, CommPhase, CommStats, ProcessGrid};
 use dibella_seq::{KmerTable, ReadSet, Strand};
-use dibella_sparse::{summa_with_words, DistMat2D, Triples};
+use dibella_sparse::{summa_abt_with_words, DistMat2D, Triples};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -89,13 +89,16 @@ pub fn read_exchange_words(len: usize) -> u64 {
 
 /// Compute the candidate overlap matrix `C = A·Aᵀ` with Sparse SUMMA and
 /// remove the diagonal (a read trivially shares all its k-mers with itself).
+///
+/// The transpose-free `A·Bᵀ` SUMMA is used with `B = A`, so no distributed
+/// transpose of `A` is ever materialised: each stage walks the broadcast
+/// block's columns through a borrowed CSC view.
 pub fn detect_candidates_2d(
     a: &DistMat2D<KmerOccurrence>,
     stats: &CommStats,
 ) -> DistMat2D<CommonKmers> {
-    let at = a.transpose();
     // A k-mer occurrence travels as (column index, position+orientation): 2 words.
-    let c = summa_with_words::<OverlapSemiring>(a, &at, stats, CommPhase::OverlapDetection, 2, 2);
+    let c = summa_abt_with_words::<OverlapSemiring>(a, a, stats, CommPhase::OverlapDetection, 2, 2);
     c.filter(|r, col, _| r != col)
 }
 

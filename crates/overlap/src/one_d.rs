@@ -15,22 +15,26 @@ use crate::semiring::OverlapSemiring;
 use crate::types::CommonKmers;
 use dibella_dist::{BlockDist, CommPhase, CommStats, ProcessGrid};
 use dibella_seq::{KmerTable, ReadSet};
-use dibella_sparse::outer1d::outer1d_spgemm_with_words;
+use dibella_sparse::outer1d::outer1d_aat_with_words;
 use dibella_sparse::{CsrMatrix, DistMat2D};
 use std::collections::BTreeSet;
 
 /// Compute the candidate overlap matrix with the 1D outer-product algorithm
 /// over `nprocs` ranks, recording the reduction traffic.
+///
+/// Uses the transpose-free symmetric `A·Aᵀ` kernel: each rank slices its
+/// column block directly out of `A`'s CSR arrays, multiplies the upper
+/// triangle of the (mirror-symmetric) partial product against the slice's
+/// CSC view and mirrors the rest, so `Aᵀ` is never materialised and only
+/// half the products are formed.
 pub fn detect_candidates_1d(
     a: &CsrMatrix<crate::types::KmerOccurrence>,
     nprocs: usize,
     stats: &CommStats,
 ) -> CsrMatrix<CommonKmers> {
-    let at = a.transpose();
     // A partial candidate entry travels as (row, col, count + one seed): ~4 words.
-    let result = outer1d_spgemm_with_words::<OverlapSemiring>(
+    let result = outer1d_aat_with_words::<OverlapSemiring>(
         a,
-        &at,
         nprocs,
         stats,
         CommPhase::OverlapDetection,

@@ -240,6 +240,10 @@ pub enum DatasetSpec {
     CElegansLike,
     /// H. sapiens–like: 10× depth, ~7.4 kb reads, 15% error (Table IV row 2).
     HSapiensLike,
+    /// A small benchmark dataset: big enough that kernel differences are
+    /// measurable, small enough for CI smoke benches (used by the spgemm
+    /// bench that produces `BENCH_spgemm.json`).
+    Small,
     /// A tiny smoke-test dataset for unit and integration tests.
     Tiny,
 }
@@ -251,6 +255,7 @@ impl DatasetSpec {
             DatasetSpec::EColiLike => "E. coli (scaled)",
             DatasetSpec::CElegansLike => "C. elegans (scaled)",
             DatasetSpec::HSapiensLike => "H. sapiens (scaled)",
+            DatasetSpec::Small => "small (bench)",
             DatasetSpec::Tiny => "tiny",
         }
     }
@@ -261,6 +266,7 @@ impl DatasetSpec {
             DatasetSpec::EColiLike => 30.0,
             DatasetSpec::CElegansLike => 40.0,
             DatasetSpec::HSapiensLike => 10.0,
+            DatasetSpec::Small => 25.0,
             DatasetSpec::Tiny => 12.0,
         }
     }
@@ -271,6 +277,7 @@ impl DatasetSpec {
             DatasetSpec::EColiLike => 9_000,
             DatasetSpec::CElegansLike => 11_241,
             DatasetSpec::HSapiensLike => 7_401,
+            DatasetSpec::Small => 1_000,
             DatasetSpec::Tiny => 600,
         }
     }
@@ -281,6 +288,7 @@ impl DatasetSpec {
             DatasetSpec::EColiLike => 0.13,
             DatasetSpec::CElegansLike => 0.13,
             DatasetSpec::HSapiensLike => 0.15,
+            DatasetSpec::Small => 0.10,
             DatasetSpec::Tiny => 0.05,
         }
     }
@@ -291,6 +299,7 @@ impl DatasetSpec {
             DatasetSpec::EColiLike => 4.6,
             DatasetSpec::CElegansLike => 100.0,
             DatasetSpec::HSapiensLike => 3000.0,
+            DatasetSpec::Small => 0.06,
             DatasetSpec::Tiny => 0.004,
         }
     }
@@ -301,6 +310,7 @@ impl DatasetSpec {
             DatasetSpec::EColiLike => 200_000,
             DatasetSpec::CElegansLike => 300_000,
             DatasetSpec::HSapiensLike => 400_000,
+            DatasetSpec::Small => 60_000,
             DatasetSpec::Tiny => 4_000,
         }
     }

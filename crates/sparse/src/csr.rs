@@ -180,6 +180,83 @@ impl<T> CsrMatrix<T> {
             }
         }
     }
+
+    /// Build a column-major view of this matrix **without cloning values**:
+    /// the view stores a permutation into [`CsrMatrix::values`], so the
+    /// transpose-free `A·Bᵀ` kernels can walk `B`'s columns in place.  This
+    /// is the structural half of a transpose at a third of its cost (and none
+    /// of the value clones, which matters for heavy entry types like the
+    /// overlap semiring's seed lists).
+    pub fn csc_view(&self) -> CscView<'_, T> {
+        // Counting sort of the entry positions by column.
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            colptr[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            colptr[c + 1] += colptr[c];
+        }
+        let mut next = colptr.clone();
+        let mut rowidx = vec![0usize; self.nnz()];
+        let mut pos = vec![0usize; self.nnz()];
+        for r in 0..self.nrows {
+            for i in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.colidx[i];
+                let slot = next[c];
+                rowidx[slot] = r;
+                pos[slot] = i;
+                next[c] += 1;
+            }
+        }
+        CscView { nrows: self.nrows, colptr, rowidx, pos, vals: &self.vals }
+    }
+}
+
+/// A borrowed column-major (CSC) view of a [`CsrMatrix`] — see
+/// [`CsrMatrix::csc_view`].  Values stay in the CSR's arrays; the view only
+/// holds the column structure and a permutation into them.
+#[derive(Debug)]
+pub struct CscView<'a, T> {
+    nrows: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    pos: Vec<usize>,
+    vals: &'a [T],
+}
+
+impl<'a, T> CscView<'a, T> {
+    /// Rows of the viewed matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the viewed matrix.
+    pub fn ncols(&self) -> usize {
+        self.colptr.len() - 1
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Iterate over column `c` as `(row, &value)` pairs, rows ascending.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, &'a T)> + '_ {
+        self.col_from(c, 0)
+    }
+
+    /// Iterate over the entries of column `c` with `row >= min_row`, rows
+    /// ascending (binary search on the sorted row list — the symmetric
+    /// `A·Aᵀ` kernel uses this to walk only the upper triangle).
+    pub fn col_from(&self, c: usize, min_row: usize) -> impl Iterator<Item = (usize, &'a T)> + '_ {
+        let range = self.colptr[c]..self.colptr[c + 1];
+        let rows = &self.rowidx[range.clone()];
+        let start = rows.partition_point(|&r| r < min_row);
+        rows[start..]
+            .iter()
+            .copied()
+            .zip(self.pos[range.start + start..range.end].iter().map(|&i| &self.vals[i]))
+    }
 }
 
 impl<T: Clone> CsrMatrix<T> {
@@ -252,6 +329,49 @@ impl<T: Clone> CsrMatrix<T> {
             rowptr,
             colidx,
             vals: vals.into_iter().map(|v| v.expect("transpose slot unfilled")).collect(),
+        }
+    }
+
+    /// Extract the contiguous column range `cols` as an `nrows × cols.len()`
+    /// matrix with column indices rebased to the slice.
+    ///
+    /// Within each CSR row the column indices are sorted, so the slice
+    /// boundaries are found with two binary searches per row — no transpose
+    /// round-trip, which is how the 1D outer-product algorithm carves its
+    /// per-rank column blocks.
+    pub fn slice_col_range(&self, cols: std::ops::Range<usize>) -> CsrMatrix<T> {
+        assert!(cols.end <= self.ncols, "column slice out of bounds");
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..self.nrows {
+            let row_cols = &self.colidx[self.rowptr[r]..self.rowptr[r + 1]];
+            let lo = self.rowptr[r] + row_cols.partition_point(|&c| c < cols.start);
+            let hi = self.rowptr[r] + row_cols.partition_point(|&c| c < cols.end);
+            for i in lo..hi {
+                colidx.push(self.colidx[i] - cols.start);
+                vals.push(self.vals[i].clone());
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix { nrows: self.nrows, ncols: cols.len(), rowptr, colidx, vals }
+    }
+
+    /// Extract the contiguous row range `rows` as a `rows.len() × ncols`
+    /// matrix (a plain sub-slice of the CSR arrays).
+    pub fn slice_row_range(&self, rows: std::ops::Range<usize>) -> CsrMatrix<T> {
+        assert!(rows.end <= self.nrows, "row slice out of bounds");
+        let start = self.rowptr[rows.start];
+        let end = self.rowptr[rows.end];
+        let rowptr: Vec<usize> =
+            self.rowptr[rows.start..=rows.end].iter().map(|p| p - start).collect();
+        CsrMatrix {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            rowptr,
+            colidx: self.colidx[start..end].to_vec(),
+            vals: self.vals[start..end].to_vec(),
         }
     }
 
@@ -417,6 +537,47 @@ mod tests {
         assert_eq!(m, back);
     }
 
+    #[test]
+    fn csc_view_matches_transpose_rows() {
+        let m = small();
+        let view = m.csc_view();
+        assert_eq!(view.nrows(), 3);
+        assert_eq!(view.ncols(), 3);
+        assert_eq!(view.nnz(), m.nnz());
+        let t = m.transpose();
+        for c in 0..m.ncols() {
+            let from_view: Vec<(usize, i64)> = view.col(c).map(|(r, v)| (r, *v)).collect();
+            let from_t: Vec<(usize, i64)> = t.row(c).map(|(r, v)| (r, *v)).collect();
+            assert_eq!(from_view, from_t, "column {c}");
+        }
+    }
+
+    #[test]
+    fn slice_col_range_rebases_columns() {
+        let m = small();
+        let s = m.slice_col_range(1..3);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.get(0, 1), Some(&2), "column 2 rebased to 1");
+        assert_eq!(s.get(2, 0), Some(&4), "column 1 rebased to 0");
+        assert_eq!(s.nnz(), 2);
+        assert!(s.validate().is_ok());
+        let empty = m.slice_col_range(1..1);
+        assert_eq!((empty.ncols(), empty.nnz()), (0, 0));
+    }
+
+    #[test]
+    fn slice_row_range_preserves_rows() {
+        let m = small();
+        let s = m.slice_row_range(1..3);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.get(1, 0), Some(&3));
+        assert_eq!(s.get(1, 1), Some(&4));
+        assert_eq!(s.row_nnz(0), 0);
+        assert!(s.validate().is_ok());
+    }
+
     fn arb_triples() -> impl Strategy<Value = Triples<i64>> {
         proptest::collection::btree_set((0usize..15, 0usize..12), 0..80).prop_map(|coords| {
             let entries: Vec<_> = coords
@@ -445,6 +606,41 @@ mod tests {
             let m = CsrMatrix::from_triples(&t);
             let tt = m.transpose().transpose();
             prop_assert_eq!(m, tt);
+        }
+
+        #[test]
+        fn prop_col_slices_partition_the_matrix(t in arb_triples(), split in 0usize..=12) {
+            let m = CsrMatrix::from_triples(&t);
+            let left = m.slice_col_range(0..split);
+            let right = m.slice_col_range(split..m.ncols());
+            prop_assert!(left.validate().is_ok());
+            prop_assert!(right.validate().is_ok());
+            prop_assert_eq!(left.nnz() + right.nnz(), m.nnz());
+            for (r, c, v) in m.iter() {
+                let found = if c < split {
+                    left.get(r, c)
+                } else {
+                    right.get(r, c - split)
+                };
+                prop_assert_eq!(found, Some(v));
+            }
+        }
+
+        #[test]
+        fn prop_csc_view_visits_every_entry_once(t in arb_triples()) {
+            let m = CsrMatrix::from_triples(&t);
+            let view = m.csc_view();
+            let mut seen = 0usize;
+            for c in 0..m.ncols() {
+                let mut prev_row = None;
+                for (r, v) in view.col(c) {
+                    prop_assert!(prev_row.is_none_or(|p| p < r), "rows ascending");
+                    prev_row = Some(r);
+                    prop_assert_eq!(m.get(r, c), Some(v));
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, m.nnz());
         }
 
         #[test]

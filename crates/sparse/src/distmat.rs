@@ -86,6 +86,32 @@ impl<T: Clone + Send + Sync> DistMat2D<T> {
         Self { grid, nrows, ncols, row_dist, col_dist, blocks }
     }
 
+    /// Assemble a distributed matrix from already-built per-rank blocks, **by
+    /// value** (no clone): `blocks[rank]` becomes the block of grid position
+    /// `grid.coords(rank)`.  This is the constructor the SUMMA kernels and
+    /// the block-wise element-wise operations use, since their `par_ranks`
+    /// loop already produces the blocks in rank order.
+    ///
+    /// # Panics
+    /// Panics if the block count or any block's dimensions do not match the
+    /// distribution.
+    pub fn from_blocks(
+        grid: ProcessGrid,
+        nrows: usize,
+        ncols: usize,
+        blocks: Vec<CsrMatrix<T>>,
+    ) -> Self {
+        let row_dist = BlockDist::new(nrows, grid.rows());
+        let col_dist = BlockDist::new(ncols, grid.cols());
+        assert_eq!(blocks.len(), grid.nprocs(), "one block per rank required");
+        for (rank, block) in blocks.iter().enumerate() {
+            let (bi, bj) = grid.coords(rank);
+            assert_eq!(block.nrows(), row_dist.size(bi), "block ({bi},{bj}) row mismatch");
+            assert_eq!(block.ncols(), col_dist.size(bj), "block ({bi},{bj}) col mismatch");
+        }
+        Self { grid, nrows, ncols, row_dist, col_dist, blocks }
+    }
+
     /// The process grid this matrix is distributed over.
     pub fn grid(&self) -> ProcessGrid {
         self.grid
@@ -395,6 +421,24 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), d.nnz());
         assert_eq!(counts[0], 2);
         assert_eq!(counts[5], 2);
+    }
+
+    #[test]
+    fn from_blocks_takes_blocks_by_value_in_rank_order() {
+        let grid = ProcessGrid::square(4);
+        let via_triples = DistMat2D::from_triples(grid, &sample_triples());
+        let blocks: Vec<CsrMatrix<i64>> =
+            via_triples.blocks().iter().map(|b| b.clone()).collect();
+        let rebuilt = DistMat2D::from_blocks(grid, 6, 6, blocks);
+        assert_eq!(rebuilt, via_triples);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn from_blocks_rejects_wrong_block_dimensions() {
+        let grid = ProcessGrid::square(4);
+        let blocks = vec![CsrMatrix::<i64>::zero(2, 3); 4];
+        let _ = DistMat2D::from_blocks(grid, 6, 6, blocks);
     }
 
     #[test]

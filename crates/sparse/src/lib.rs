@@ -11,8 +11,13 @@
 //! * [`semiring::Semiring`] — the overloadable add/multiply abstraction; the
 //!   overlap-detection and MinPlus transitive-reduction semirings of the paper
 //!   live in the higher-level crates and plug in here.
-//! * [`spgemm`] — local (single-block) Gustavson SpGEMM with hash-based
-//!   accumulation, plus a dense reference implementation for testing.
+//! * [`accum`] — reusable per-worker row accumulators (dense SPA / linear-
+//!   probing hash vector) and the [`accum::FlopCounter`] every kernel tallies
+//!   useful flops, probes and peak row width into.
+//! * [`spgemm`] — local (single-block) Gustavson SpGEMM over the reusable
+//!   accumulators, including the transpose-free `A·Bᵀ` kernel and the
+//!   multi-stage accumulate-in-place entry point SUMMA uses, plus a dense
+//!   reference implementation for testing.
 //! * [`elementwise`] — the element-wise kernels of Algorithm 2: `Apply`,
 //!   `Prune`, `Reduce(Row, max)`, `DimApply`, element-wise intersection and
 //!   set-difference.
@@ -26,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod csr;
 pub mod distmat;
 pub mod elementwise;
@@ -35,9 +41,13 @@ pub mod spgemm;
 pub mod summa;
 pub mod triples;
 
-pub use csr::CsrMatrix;
+pub use accum::{AccumPolicy, Accumulator, FlopCounter};
+pub use csr::{CscView, CsrMatrix};
 pub use distmat::DistMat2D;
-pub use semiring::{BoolAndOr, MinPlusNum, PlusTimes, Semiring};
-pub use spgemm::{dense_reference_spgemm, local_spgemm};
-pub use summa::{summa, summa_with_words};
+pub use semiring::{BoolAndOr, MinPlusNum, MirrorSemiring, PlusTimes, Semiring};
+pub use spgemm::{
+    dense_reference_spgemm, local_spgemm, local_spgemm_aat, local_spgemm_abt,
+    local_spgemm_baseline,
+};
+pub use summa::{summa, summa_abt, summa_abt_with_words, summa_with_words};
 pub use triples::Triples;

@@ -84,34 +84,124 @@ pub fn outer1d_spgemm_with_words<S: Semiring>(
     let inner_dist = BlockDist::new(inner, nprocs);
     let out_row_dist = BlockDist::new(n, nprocs);
 
-    // Every rank forms its partial product A[:, k-th column block] * B[k-th row block, :].
-    // Slicing A by columns from CSR is awkward, so slice via the transpose once.
-    let a_t = a.transpose();
+    // Every rank forms its partial product A[:, k-th column block] * B[k-th
+    // row block, :].  Both slices are carved directly out of the CSR arrays
+    // (contiguous column range via two binary searches per row, contiguous
+    // row range as a sub-slice) — no transpose round-trip.
     let partials: Vec<CsrMatrix<S::Out>> = par_ranks(nprocs, |rank| {
         let cols = inner_dist.range(rank);
         if cols.is_empty() {
             return CsrMatrix::zero(n, b.ncols());
         }
-        // Build A_slice (n x |cols|) and B_slice (|cols| x ncols) with local inner indices.
-        let mut a_slice_t = Triples::new(cols.len(), n);
-        for (local_k, k) in cols.clone().enumerate() {
-            for (r, v) in a_t.row(k) {
-                a_slice_t.push(local_k, r, v.clone());
-            }
-        }
-        let a_slice = CsrMatrix::from_triples(&a_slice_t).transpose();
-        let mut b_slice_t = Triples::new(cols.len(), b.ncols());
-        for (local_k, k) in cols.clone().enumerate() {
-            for (c, v) in b.row(k) {
-                b_slice_t.push(local_k, c, v.clone());
-            }
-        }
-        let b_slice = CsrMatrix::from_triples(&b_slice_t);
+        let a_slice = a.slice_col_range(cols.clone());
+        let b_slice = b.slice_row_range(cols);
         local_spgemm::<S>(&a_slice, &b_slice)
     });
 
-    // Reduction: each partial entry is routed to the block-row owner of its
-    // output row, then merged with the semiring's add.
+    reduce_partials::<S>(partials, out_row_dist, b.ncols(), stats, phase, entry_words)
+}
+
+/// Compute `C = A·Bᵀ` with the 1D outer-product algorithm, transpose-free:
+/// rank `k` multiplies `A[:, cols_k] · (B[:, cols_k])ᵀ` with the CSC-view
+/// kernel, so neither operand is ever transposed or re-sliced through a
+/// transpose.  This is the formulation diBELLA 1D's candidate detection
+/// (`C = A·Aᵀ`: pass the same matrix twice) maps onto.
+pub fn outer1d_abt<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    nprocs: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+) -> Outer1dResult<S::Out> {
+    outer1d_abt_with_words::<S>(a, b, nprocs, stats, phase, words_of::<S::Out>() + 2)
+}
+
+/// [`outer1d_abt`] with an explicit word cost per exchanged partial entry.
+pub fn outer1d_abt_with_words<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    nprocs: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+    entry_words: u64,
+) -> Outer1dResult<S::Out> {
+    assert!(nprocs > 0, "need at least one rank");
+    assert_eq!(a.ncols(), b.ncols(), "inner dimension mismatch for A·Bᵀ");
+    let n = a.nrows();
+    let inner_dist = BlockDist::new(a.ncols(), nprocs);
+    let out_row_dist = BlockDist::new(n, nprocs);
+
+    let partials: Vec<CsrMatrix<S::Out>> = par_ranks(nprocs, |rank| {
+        let cols = inner_dist.range(rank);
+        if cols.is_empty() {
+            return CsrMatrix::zero(n, b.nrows());
+        }
+        let a_slice = a.slice_col_range(cols.clone());
+        let b_slice = b.slice_col_range(cols);
+        crate::spgemm::local_spgemm_abt::<S>(&a_slice, &b_slice)
+    });
+
+    reduce_partials::<S>(partials, out_row_dist, b.nrows(), stats, phase, entry_words)
+}
+
+/// Compute the symmetric `C = A·Aᵀ` with the 1D outer-product algorithm.
+///
+/// Each rank's partial product `A[:, cols_k] · (A[:, cols_k])ᵀ` is itself
+/// mirror-symmetric, so every rank runs the upper-triangle
+/// [`crate::spgemm::local_spgemm_aat`] kernel — half the multiply work of
+/// [`outer1d_abt`] with the same matrix passed twice, bit-identical output.
+pub fn outer1d_aat<S>(
+    a: &CsrMatrix<S::Left>,
+    nprocs: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+) -> Outer1dResult<S::Out>
+where
+    S: crate::semiring::MirrorSemiring,
+{
+    outer1d_aat_with_words::<S>(a, nprocs, stats, phase, words_of::<S::Out>() + 2)
+}
+
+/// [`outer1d_aat`] with an explicit word cost per exchanged partial entry.
+pub fn outer1d_aat_with_words<S>(
+    a: &CsrMatrix<S::Left>,
+    nprocs: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+    entry_words: u64,
+) -> Outer1dResult<S::Out>
+where
+    S: crate::semiring::MirrorSemiring,
+{
+    assert!(nprocs > 0, "need at least one rank");
+    let n = a.nrows();
+    let inner_dist = BlockDist::new(a.ncols(), nprocs);
+    let out_row_dist = BlockDist::new(n, nprocs);
+
+    let partials: Vec<CsrMatrix<S::Out>> = par_ranks(nprocs, |rank| {
+        let cols = inner_dist.range(rank);
+        if cols.is_empty() {
+            return CsrMatrix::zero(n, n);
+        }
+        let a_slice = a.slice_col_range(cols);
+        crate::spgemm::local_spgemm_aat::<S>(&a_slice)
+    });
+
+    reduce_partials::<S>(partials, out_row_dist, n, stats, phase, entry_words)
+}
+
+/// The 1D reduction: route every partial entry to the block-row owner of its
+/// output row with an all-to-all, then merge per destination rank with the
+/// semiring's add.
+fn reduce_partials<S: Semiring>(
+    partials: Vec<CsrMatrix<S::Out>>,
+    out_row_dist: BlockDist,
+    out_cols: usize,
+    stats: &CommStats,
+    phase: CommPhase,
+    entry_words: u64,
+) -> Outer1dResult<S::Out> {
+    let nprocs = partials.len();
     let send: Vec<Vec<Vec<(usize, usize, S::Out)>>> = partials
         .par_iter()
         .map(|partial| {
@@ -149,7 +239,7 @@ pub fn outer1d_spgemm_with_words<S: Semiring>(
                 }
                 rows[local_r] = merged;
             }
-            rows_to_csr(rows_here, b.ncols(), rows)
+            rows_to_csr(rows_here, out_cols, rows)
         })
         .collect();
 
@@ -227,6 +317,54 @@ mod tests {
         let _ = outer1d_spgemm::<PlusTimes<i64>>(&a, &b, 16, &stats16, CommPhase::OverlapDetection);
         let w16 = stats16.words(CommPhase::OverlapDetection);
         assert!(w16 >= w4, "more ranks should not reduce total exchanged volume: {w16} vs {w4}");
+    }
+
+    #[test]
+    fn outer1d_abt_matches_product_with_transpose() {
+        let at = random_triples(13, 9, 45, 41);
+        let bt = random_triples(11, 9, 40, 42);
+        let a = CsrMatrix::from_triples(&at);
+        let b = CsrMatrix::from_triples(&bt);
+        let expected = local_spgemm::<PlusTimes<i64>>(&a, &b.transpose());
+        for p in [1usize, 2, 4, 7] {
+            let stats = CommStats::new();
+            let got = outer1d_abt::<PlusTimes<i64>>(&a, &b, p, &stats, CommPhase::Other);
+            assert_eq!(got.to_local_csr(b.nrows()), expected, "mismatch at P={p}");
+        }
+    }
+
+    #[test]
+    fn outer1d_abt_squares_a_matrix_like_the_transpose_path() {
+        // The A·Aᵀ form the 1D overlap pipeline uses: both operands are the
+        // same matrix and the comm volumes match the explicit-transpose path.
+        let at = random_triples(14, 10, 50, 43);
+        let a = CsrMatrix::from_triples(&at);
+        let stats_abt = CommStats::new();
+        let direct = outer1d_abt::<PlusTimes<i64>>(&a, &a, 4, &stats_abt, CommPhase::Other);
+        let stats_t = CommStats::new();
+        let via_t =
+            outer1d_spgemm::<PlusTimes<i64>>(&a, &a.transpose(), 4, &stats_t, CommPhase::Other);
+        assert_eq!(direct.to_local_csr(a.nrows()), via_t.to_local_csr(a.nrows()));
+        assert_eq!(stats_abt.words(CommPhase::Other), stats_t.words(CommPhase::Other));
+        assert_eq!(stats_abt.messages(CommPhase::Other), stats_t.messages(CommPhase::Other));
+    }
+
+    #[test]
+    fn outer1d_symmetric_aat_is_bit_identical_to_the_general_path() {
+        let at = random_triples(16, 12, 60, 51);
+        let a = CsrMatrix::from_triples(&at);
+        for p in [1usize, 3, 5] {
+            let stats_sym = CommStats::new();
+            let sym = outer1d_aat::<PlusTimes<i64>>(&a, p, &stats_sym, CommPhase::Other);
+            let stats_gen = CommStats::new();
+            let general = outer1d_abt::<PlusTimes<i64>>(&a, &a, p, &stats_gen, CommPhase::Other);
+            assert_eq!(
+                sym.to_local_csr(a.nrows()),
+                general.to_local_csr(a.nrows()),
+                "P={p}"
+            );
+            assert_eq!(stats_sym.words(CommPhase::Other), stats_gen.words(CommPhase::Other));
+        }
     }
 
     #[test]

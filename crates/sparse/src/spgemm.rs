@@ -1,16 +1,174 @@
 //! Local sparse matrix-matrix multiplication over a semiring.
 //!
-//! CombBLAS' local SpGEMM uses a hybrid hash/heap algorithm; we implement a
-//! row-wise Gustavson SpGEMM with hash-map accumulation, parallelised over the
-//! output rows with rayon.  The same kernel is reused by the SUMMA stages
-//! ([`mod@crate::summa`]) and the 1D outer-product baseline ([`crate::outer1d`]),
-//! which also needs the accumulate-into-existing-partial variant
-//! [`spgemm_accumulate`].
+//! CombBLAS' local SpGEMM uses a tuned hybrid hash/heap algorithm; this
+//! module implements a row-wise Gustavson SpGEMM on top of the reusable
+//! [`Accumulator`] abstraction (dense SPA or linear-probing hash vector, see
+//! [`crate::accum`]): one accumulator is created per worker thread of the
+//! work-stealing pool and reused across every output row that worker claims —
+//! and, through [`spgemm_stages`], across all SUMMA stages of a block
+//! product, so no per-row `HashMap` is ever allocated and no per-stage
+//! sorted-merge is performed.
+//!
+//! The right operand is abstracted by [`RightRows`], which is implemented by
+//! [`CsrMatrix`] (rows of `B`) and by [`CscView`] (columns of `B`, i.e. rows
+//! of `Bᵀ`): the same kernel therefore computes both `A·B` and the
+//! transpose-free `A·Bᵀ` ([`local_spgemm_abt`]) that overlap detection's
+//! `C = A·Aᵀ` uses without materialising a transpose.
+//!
+//! All kernels tally useful flops, accumulator probes and the peak row width
+//! into a [`FlopCounter`]; the distributed layers fold those into
+//! `CommStats::extras` so every phase reports flops/s.
 
-use crate::csr::CsrMatrix;
-use crate::semiring::Semiring;
-use rayon::prelude::*;
+use crate::accum::{AccumPolicy, Accumulator, FlopCounter};
+use crate::csr::{CscView, CsrMatrix};
+use crate::semiring::{MirrorSemiring, Semiring};
+use rayon::pool;
 use std::collections::HashMap;
+
+/// Row-indexed access to the *effective* right operand `B_eff` of a product
+/// `C = A·B_eff`, abstracting over `B` stored by rows ([`CsrMatrix`]) and
+/// `Bᵀ` walked through `B`'s columns ([`CscView`]).
+pub trait RightRows<T>: Sync {
+    /// Rows of the effective operand (must equal `A`'s column count).
+    fn nrows(&self) -> usize;
+    /// Columns of the effective operand (the output width).
+    fn ncols(&self) -> usize;
+    /// Iterate effective row `k` as `(col, &value)` pairs.
+    fn inner<'s>(&'s self, k: usize) -> impl Iterator<Item = (usize, &'s T)>
+    where
+        T: 's;
+    /// Iterate effective row `k` restricted to columns `>= min_col`
+    /// (entries are column-sorted, so implementations binary-search the
+    /// start; the symmetric `A·Aᵀ` kernel walks only the upper triangle
+    /// this way).
+    fn inner_from<'s>(&'s self, k: usize, min_col: usize) -> impl Iterator<Item = (usize, &'s T)>
+    where
+        T: 's;
+}
+
+impl<T: Sync> RightRows<T> for CsrMatrix<T> {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+    fn inner<'s>(&'s self, k: usize) -> impl Iterator<Item = (usize, &'s T)>
+    where
+        T: 's,
+    {
+        self.row(k)
+    }
+    fn inner_from<'s>(&'s self, k: usize, min_col: usize) -> impl Iterator<Item = (usize, &'s T)>
+    where
+        T: 's,
+    {
+        let range = self.rowptr()[k]..self.rowptr()[k + 1];
+        let cols = &self.colidx()[range.clone()];
+        let start = cols.partition_point(|&c| c < min_col);
+        cols[start..]
+            .iter()
+            .copied()
+            .zip(self.values()[range.start + start..range.end].iter())
+    }
+}
+
+/// A [`CscView`] of `B` acts as the operand `Bᵀ`: effective row `k` is
+/// column `k` of `B`.
+impl<T: Sync> RightRows<T> for CscView<'_, T> {
+    fn nrows(&self) -> usize {
+        CscView::ncols(self)
+    }
+    fn ncols(&self) -> usize {
+        CscView::nrows(self)
+    }
+    fn inner<'s>(&'s self, k: usize) -> impl Iterator<Item = (usize, &'s T)>
+    where
+        T: 's,
+    {
+        self.col(k)
+    }
+    fn inner_from<'s>(&'s self, k: usize, min_col: usize) -> impl Iterator<Item = (usize, &'s T)>
+    where
+        T: 's,
+    {
+        self.col_from(k, min_col)
+    }
+}
+
+/// Scatter row `i` of `A · B_eff` into `acc`, returning the number of
+/// accumulated (non-annihilated) products.
+#[inline]
+fn scatter_row<S: Semiring, R: RightRows<S::Right>>(
+    a: &CsrMatrix<S::Left>,
+    right: &R,
+    i: usize,
+    acc: &mut Accumulator<S::Out>,
+) -> u64 {
+    let mut products = 0u64;
+    for (k, aval) in a.row(i) {
+        for (j, bval) in right.inner(k) {
+            if let Some(prod) = S::multiply(aval, bval) {
+                products += 1;
+                acc.scatter(j, prod, S::add);
+            }
+        }
+    }
+    products
+}
+
+/// Multiply-accumulate a whole sequence of stage pairs into one output block:
+/// `C = Σ_s A_s · B_eff_s`, parallel over output rows with one reusable
+/// accumulator per worker.
+///
+/// This is the kernel SUMMA uses: every rank passes its `√P` stage pairs at
+/// once, so each output row is accumulated in place across all stages and
+/// extracted (sorted) exactly once — no per-stage sorted merge.
+///
+/// # Panics
+/// Panics if any stage's dimensions disagree with `out_rows`/`out_cols` or
+/// between the pair's operands.
+pub fn spgemm_stages<S, R>(
+    out_rows: usize,
+    out_cols: usize,
+    stages: &[(&CsrMatrix<S::Left>, &R)],
+    policy: AccumPolicy,
+    flops: &FlopCounter,
+) -> CsrMatrix<S::Out>
+where
+    S: Semiring,
+    R: RightRows<S::Right>,
+{
+    for (a, right) in stages {
+        assert_eq!(a.nrows(), out_rows, "stage with mismatched output row count");
+        assert_eq!(right.ncols(), out_cols, "stage with mismatched output column count");
+        assert_eq!(
+            a.ncols(),
+            right.nrows(),
+            "inner dimension mismatch: A is {}x{}, B is {}x{}",
+            a.nrows(),
+            a.ncols(),
+            right.nrows(),
+            right.ncols()
+        );
+    }
+    let rows: Vec<Vec<(usize, S::Out)>> = pool::map_indexed_with(
+        out_rows,
+        || Accumulator::with_policy(out_cols, policy),
+        |acc, i| {
+            let mut products = 0u64;
+            for (a, right) in stages {
+                products += scatter_row::<S, R>(a, right, i, acc);
+            }
+            let width = acc.len() as u64;
+            let probes = acc.take_probes();
+            let row = acc.extract_sorted();
+            flops.record_row(products, probes, width);
+            row
+        },
+    );
+    rows_to_csr(out_rows, out_cols, rows)
+}
 
 /// Compute `C = A · B` over semiring `S`.
 ///
@@ -20,54 +178,135 @@ pub fn local_spgemm<S: Semiring>(
     a: &CsrMatrix<S::Left>,
     b: &CsrMatrix<S::Right>,
 ) -> CsrMatrix<S::Out> {
+    local_spgemm_counted::<S>(a, b, &FlopCounter::new())
+}
+
+/// [`local_spgemm`] tallying its work into `flops`.
+pub fn local_spgemm_counted<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    flops: &FlopCounter,
+) -> CsrMatrix<S::Out> {
+    spgemm_stages::<S, _>(a.nrows(), b.ncols(), &[(a, b)], AccumPolicy::Auto, flops)
+}
+
+/// Compute `C = A · Bᵀ` over semiring `S` **without materialising `Bᵀ`**:
+/// `B`'s columns are walked in place through a [`CscView`] (no value clones,
+/// no transpose round-trip).
+///
+/// # Panics
+/// Panics if `A` and `B` disagree on the inner (column) dimension.
+pub fn local_spgemm_abt<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+) -> CsrMatrix<S::Out> {
+    local_spgemm_abt_counted::<S>(a, b, &FlopCounter::new())
+}
+
+/// [`local_spgemm_abt`] tallying its work into `flops`.
+pub fn local_spgemm_abt_counted<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+    flops: &FlopCounter,
+) -> CsrMatrix<S::Out> {
     assert_eq!(
         a.ncols(),
-        b.nrows(),
-        "inner dimension mismatch: A is {}x{}, B is {}x{}",
+        b.ncols(),
+        "inner dimension mismatch for A·Bᵀ: A is {}x{}, B is {}x{}",
         a.nrows(),
         a.ncols(),
         b.nrows(),
         b.ncols()
     );
-    let rows: Vec<Vec<(usize, S::Out)>> = (0..a.nrows())
-        .into_par_iter()
-        .map(|i| multiply_row::<S>(a, b, i))
-        .collect();
-    rows_to_csr(a.nrows(), b.ncols(), rows)
+    let view = b.csc_view();
+    spgemm_stages::<S, _>(a.nrows(), b.nrows(), &[(a, &view)], AccumPolicy::Auto, flops)
 }
 
-/// Multiply a single output row `i`: combine row `i` of `A` with the rows of
-/// `B` selected by `A`'s column indices, accumulating per output column.
-fn multiply_row<S: Semiring>(
+/// Compute the symmetric product `C = A · Aᵀ` over a [`MirrorSemiring`],
+/// multiplying only the **upper triangle** (diagonal included) and mirroring
+/// it into the lower one — half the multiply work of [`local_spgemm_abt`]
+/// with the same matrix passed twice.
+///
+/// The column-major form of `A` is built once (a contiguous local CSC copy —
+/// each column is walked `O(column degree)` times, so contiguity beats the
+/// zero-copy [`CscView`] here) and every worker enters each column at its
+/// upper-triangle offset by binary search.
+///
+/// Exactness: for every `k` shared by rows `i` and `j`, the products
+/// contributing to `C[i][j]` and `C[j][i]` arrive in the same (ascending `k`)
+/// order, so `C[j][i] = mirror(C[i][j])` entry for entry — see
+/// [`MirrorSemiring`].
+pub fn local_spgemm_aat<S: MirrorSemiring>(a: &CsrMatrix<S::Left>) -> CsrMatrix<S::Out> {
+    local_spgemm_aat_counted::<S>(a, &FlopCounter::new())
+}
+
+/// [`local_spgemm_aat`] tallying its work into `flops` (only the multiplies
+/// actually performed — the upper triangle — are counted).
+pub fn local_spgemm_aat_counted<S: MirrorSemiring>(
     a: &CsrMatrix<S::Left>,
-    b: &CsrMatrix<S::Right>,
-    i: usize,
-) -> Vec<(usize, S::Out)> {
-    let mut acc: HashMap<usize, S::Out> = HashMap::new();
-    for (k, aval) in a.row(i) {
-        for (j, bval) in b.row(k) {
-            if let Some(prod) = S::multiply(aval, bval) {
-                match acc.entry(j) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        S::add(e.get_mut(), prod);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(prod);
+    flops: &FlopCounter,
+) -> CsrMatrix<S::Out> {
+    let n = a.nrows();
+    // Contiguous column-major copy of A (rows of Aᵀ), built once and walked
+    // by every worker; MirrorSemiring pins `Right = Left`, so the slices can
+    // be walked directly without the `RightRows` indirection.
+    let at = a.transpose();
+    let at_rowptr = at.rowptr();
+    let at_cols = at.colidx();
+    let at_vals = at.values();
+    // Upper triangle: row i accumulates only columns j >= i, entered at the
+    // right offset of each column by binary search.
+    let upper: Vec<Vec<(usize, S::Out)>> = pool::map_indexed_with(
+        n,
+        || Accumulator::<S::Out>::new(n),
+        |acc, i| {
+            let mut products = 0u64;
+            for (k, aval) in a.row(i) {
+                let lo = at_rowptr[k];
+                let hi = at_rowptr[k + 1];
+                let start = lo + at_cols[lo..hi].partition_point(|&j| j < i);
+                for idx in start..hi {
+                    if let Some(prod) = S::multiply(aval, &at_vals[idx]) {
+                        products += 1;
+                        acc.scatter(at_cols[idx], prod, S::add);
                     }
                 }
             }
+            let width = acc.len() as u64;
+            let probes = acc.take_probes();
+            let row = acc.extract_sorted();
+            flops.record_row(products, probes, width);
+            row
+        },
+    );
+    // Mirror the strict upper triangle into the lower one.  Iterating i
+    // ascending appends to each lower row in ascending column order, so
+    // `lower[j] ++ upper[j]` is sorted.
+    let mut lower: Vec<Vec<(usize, S::Out)>> = vec![Vec::new(); n];
+    for (i, row) in upper.iter().enumerate() {
+        for (j, v) in row {
+            if *j > i {
+                lower[*j].push((i, S::mirror(v)));
+            }
         }
     }
-    let mut row: Vec<(usize, S::Out)> = acc.into_iter().collect();
-    row.sort_unstable_by_key(|(j, _)| *j);
-    row
+    let rows: Vec<Vec<(usize, S::Out)>> = lower
+        .into_iter()
+        .zip(upper)
+        .map(|(mut low, up)| {
+            low.extend(up);
+            low
+        })
+        .collect();
+    rows_to_csr(n, n, rows)
 }
 
 /// Accumulate `A · B` into an existing set of per-row partial results.
 ///
 /// `partial` must have one entry per output row; each entry is a sorted
-/// `(col, value)` list.  This is the kernel SUMMA uses across its `sqrt(P)`
-/// stages and the 1D algorithm uses when merging partial products.
+/// `(col, value)` list.  The existing entries are re-seeded into the worker's
+/// accumulator and the new products folded in place — collisions combine as
+/// `add(existing, new)`, matching the old sorted-merge semantics exactly.
 pub fn spgemm_accumulate<S: Semiring>(
     a: &CsrMatrix<S::Left>,
     b: &CsrMatrix<S::Right>,
@@ -75,17 +314,19 @@ pub fn spgemm_accumulate<S: Semiring>(
 ) {
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     assert_eq!(partial.len(), a.nrows(), "partial must have one slot per output row");
-    partial.par_iter_mut().enumerate().for_each(|(i, slot)| {
-        let new_row = multiply_row::<S>(a, b, i);
-        if new_row.is_empty() {
-            return;
-        }
-        if slot.is_empty() {
-            *slot = new_row;
-        } else {
-            *slot = merge_rows::<S>(std::mem::take(slot), new_row);
-        }
-    });
+    let ncols = b.ncols();
+    pool::for_each_mut_with(
+        partial,
+        || Accumulator::<S::Out>::new(ncols),
+        |acc, i, slot| {
+            for (c, v) in slot.drain(..) {
+                acc.scatter(c, v, S::add);
+            }
+            scatter_row::<S, _>(a, b, i, acc);
+            acc.take_probes();
+            *slot = acc.extract_sorted();
+        },
+    );
 }
 
 /// Merge two sorted `(col, value)` rows, combining collisions with `S::add`.
@@ -140,6 +381,41 @@ pub fn rows_to_csr<T: Clone + Send>(
     CsrMatrix::from_raw(nrows, ncols, rowptr, colidx, vals)
 }
 
+/// The pre-refactor kernel: sequential row-wise Gustavson with one
+/// `HashMap` allocated per output row.
+///
+/// Kept (1) as an independent oracle the accumulator kernels are tested
+/// against and (2) as the regression baseline the `spgemm` bench compares
+/// wall-clock against (the `baseline_speedup` field of `BENCH_spgemm.json`).
+pub fn local_spgemm_baseline<S: Semiring>(
+    a: &CsrMatrix<S::Left>,
+    b: &CsrMatrix<S::Right>,
+) -> CsrMatrix<S::Out> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let mut rows: Vec<Vec<(usize, S::Out)>> = Vec::with_capacity(a.nrows());
+    for i in 0..a.nrows() {
+        let mut acc: HashMap<usize, S::Out> = HashMap::new();
+        for (k, aval) in a.row(i) {
+            for (j, bval) in b.row(k) {
+                if let Some(prod) = S::multiply(aval, bval) {
+                    match acc.entry(j) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            S::add(e.get_mut(), prod);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(prod);
+                        }
+                    }
+                }
+            }
+        }
+        let mut row: Vec<(usize, S::Out)> = acc.into_iter().collect();
+        row.sort_unstable_by_key(|(j, _)| *j);
+        rows.push(row);
+    }
+    rows_to_csr(a.nrows(), b.ncols(), rows)
+}
+
 /// A straightforward dense reference SpGEMM used to validate the sparse
 /// kernels in tests and property tests.
 pub fn dense_reference_spgemm<S: Semiring>(
@@ -187,6 +463,7 @@ mod tests {
     use crate::semiring::{BoolAndOr, MinPlusNum, PlusTimes};
     use crate::triples::Triples;
     use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
 
     fn matrix_from(entries: Vec<(usize, usize, i64)>, nrows: usize, ncols: usize) -> CsrMatrix<i64> {
         CsrMatrix::from_triples(&Triples::from_entries(nrows, ncols, entries))
@@ -224,6 +501,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn abt_mismatched_dimensions_panic() {
+        let a = matrix_from(vec![(0, 0, 1)], 2, 3);
+        let b = matrix_from(vec![(0, 0, 1)], 3, 2);
+        let _ = local_spgemm_abt::<PlusTimes<i64>>(&a, &b);
+    }
+
+    #[test]
     fn min_plus_finds_two_hop_shortest_paths() {
         // Path graph 0 -> 1 -> 2 with weights 2 and 3, plus direct 0 -> 2 with weight 10.
         let entries = vec![(0usize, 1usize, 2u64), (1, 2, 3), (0, 2, 10)];
@@ -241,6 +526,50 @@ mod tests {
         let g2 = local_spgemm::<BoolAndOr>(&g, &g);
         assert_eq!(g2.get(0, 2), Some(&true));
         assert_eq!(g2.nnz(), 1);
+    }
+
+    #[test]
+    fn abt_matches_multiplying_by_the_transpose() {
+        let a = matrix_from(vec![(0, 0, 1), (0, 2, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)], 3, 3);
+        let b = matrix_from(vec![(0, 0, 6), (1, 2, 7), (3, 1, 8)], 4, 3);
+        let direct = local_spgemm_abt::<PlusTimes<i64>>(&a, &b);
+        let via_transpose = local_spgemm::<PlusTimes<i64>>(&a, &b.transpose());
+        assert_eq!(direct, via_transpose);
+        assert_eq!(direct.nrows(), 3);
+        assert_eq!(direct.ncols(), 4);
+    }
+
+    #[test]
+    fn symmetric_aat_matches_general_abt() {
+        let a = arb_like_matrix(25, 18, 9);
+        let sym = local_spgemm_aat::<PlusTimes<i64>>(&a);
+        let general = local_spgemm_abt::<PlusTimes<i64>>(&a, &a);
+        assert_eq!(sym, general);
+        assert!(sym.validate().is_ok());
+    }
+
+    #[test]
+    fn symmetric_aat_counts_roughly_half_the_products() {
+        let a = arb_like_matrix(30, 20, 10);
+        let full = FlopCounter::new();
+        let _ = local_spgemm_abt_counted_probe(&a, &full);
+        let half = FlopCounter::new();
+        let _ = local_spgemm_aat_counted::<PlusTimes<i64>>(&a, &half);
+        assert!(half.flops() > 0);
+        assert!(
+            half.flops() <= full.flops() / 2 + full.flops() / 8,
+            "upper-triangle kernel should perform about half the multiplies \
+             ({} vs {})",
+            half.flops(),
+            full.flops()
+        );
+    }
+
+    fn local_spgemm_abt_counted_probe(
+        a: &CsrMatrix<i64>,
+        flops: &FlopCounter,
+    ) -> CsrMatrix<i64> {
+        local_spgemm_abt_counted::<PlusTimes<i64>>(a, a, flops)
     }
 
     #[test]
@@ -275,6 +604,58 @@ mod tests {
     }
 
     #[test]
+    fn stages_accumulate_like_separate_products() {
+        // C = A0·B0 + A1·B1, accumulated in one spgemm_stages call.
+        let a0 = matrix_from(vec![(0, 0, 1), (1, 1, 2)], 2, 2);
+        let b0 = matrix_from(vec![(0, 0, 3), (1, 1, 4)], 2, 3);
+        let a1 = matrix_from(vec![(0, 0, 5), (1, 0, 6)], 2, 1);
+        let b1 = matrix_from(vec![(0, 0, 7), (0, 2, 8)], 1, 3);
+        let flops = FlopCounter::new();
+        let c = spgemm_stages::<PlusTimes<i64>, _>(
+            2,
+            3,
+            &[(&a0, &b0), (&a1, &b1)],
+            AccumPolicy::Auto,
+            &flops,
+        );
+        let mut partial: Vec<Vec<(usize, i64)>> = vec![Vec::new(); 2];
+        spgemm_accumulate::<PlusTimes<i64>>(&a0, &b0, &mut partial);
+        spgemm_accumulate::<PlusTimes<i64>>(&a1, &b1, &mut partial);
+        let want = rows_to_csr(2, 3, partial);
+        assert_eq!(c, want);
+        assert!(flops.flops() > 0);
+        assert!(flops.peak_row_width() >= 2);
+    }
+
+    #[test]
+    fn empty_stage_list_gives_the_zero_matrix() {
+        let flops = FlopCounter::new();
+        let stages: [(&CsrMatrix<i64>, &CsrMatrix<i64>); 0] = [];
+        let c = spgemm_stages::<PlusTimes<i64>, CsrMatrix<i64>>(
+            3,
+            4,
+            &stages,
+            AccumPolicy::Auto,
+            &flops,
+        );
+        assert_eq!(c, CsrMatrix::zero(3, 4));
+        assert_eq!(flops.flops(), 0);
+    }
+
+    #[test]
+    fn flop_counter_counts_two_flops_per_product() {
+        // A = [1 2], B = [3; 4]: one output entry from two products.
+        let a = matrix_from(vec![(0, 0, 1), (0, 1, 2)], 1, 2);
+        let b = matrix_from(vec![(0, 0, 3), (1, 0, 4)], 2, 1);
+        let flops = FlopCounter::new();
+        let c = local_spgemm_counted::<PlusTimes<i64>>(&a, &b, &flops);
+        assert_eq!(c.get(0, 0), Some(&11));
+        assert_eq!(flops.flops(), 4, "two products, two flops each");
+        assert_eq!(flops.peak_row_width(), 1);
+        assert!(flops.probes() >= 2);
+    }
+
+    #[test]
     fn merge_rows_combines_collisions() {
         let left = vec![(0usize, 1i64), (2, 3)];
         let right = vec![(1usize, 10i64), (2, 5)];
@@ -291,6 +672,53 @@ mod tests {
         assert!(matches_dense(&c, &dense));
     }
 
+    #[test]
+    fn baseline_kernel_agrees_with_accumulator_kernel() {
+        let a = matrix_from(vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (3, 0, -2)], 4, 2);
+        let b = matrix_from(vec![(0, 0, 4), (1, 0, 5), (1, 2, 6)], 2, 3);
+        assert_eq!(
+            local_spgemm_baseline::<PlusTimes<i64>>(&a, &b),
+            local_spgemm::<PlusTimes<i64>>(&a, &b)
+        );
+    }
+
+    #[test]
+    fn kernels_are_deterministic_across_thread_counts() {
+        let a = arb_like_matrix(40, 37, 1);
+        let b = arb_like_matrix(37, 45, 2);
+        let reference = rayon::pool::with_thread_limit(1, || {
+            (
+                local_spgemm::<PlusTimes<i64>>(&a, &b),
+                local_spgemm_abt::<PlusTimes<i64>>(&a, &arb_like_matrix(21, 37, 3)),
+            )
+        });
+        for threads in [2usize, 3, 8] {
+            let got = rayon::pool::with_thread_limit(threads, || {
+                (
+                    local_spgemm::<PlusTimes<i64>>(&a, &b),
+                    local_spgemm_abt::<PlusTimes<i64>>(&a, &arb_like_matrix(21, 37, 3)),
+                )
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    /// Deterministic pseudo-random matrix without the proptest machinery.
+    fn arb_like_matrix(nrows: usize, ncols: usize, seed: u64) -> CsrMatrix<i64> {
+        let mut t = Triples::new(nrows, ncols);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        while seen.len() < (nrows * ncols / 4).max(1) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (state >> 33) as usize % nrows;
+            let c = (state >> 13) as usize % ncols;
+            if seen.insert((r, c)) {
+                t.push(r, c, ((state % 17) as i64) - 8);
+            }
+        }
+        CsrMatrix::from_triples(&t)
+    }
+
     fn arb_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = CsrMatrix<i64>> {
         proptest::collection::btree_set((0..nrows, 0..ncols), 0..(nrows * ncols).min(60)).prop_map(
             move |coords| {
@@ -304,6 +732,52 @@ mod tests {
         )
     }
 
+    fn arb_u64_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = CsrMatrix<u64>> {
+        proptest::collection::btree_set((0..nrows, 0..ncols), 0..(nrows * ncols).min(50)).prop_map(
+            move |coords| {
+                let entries: Vec<_> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, c))| (r, c, (i % 11) as u64 + 1))
+                    .collect();
+                CsrMatrix::from_triples(&Triples::from_entries(nrows, ncols, entries))
+            },
+        )
+    }
+
+    fn arb_bool_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = CsrMatrix<bool>> {
+        proptest::collection::btree_set((0..nrows, 0..ncols), 0..(nrows * ncols).min(50)).prop_map(
+            move |coords| {
+                let entries: Vec<_> =
+                    coords.into_iter().map(|(r, c)| (r, c, true)).collect();
+                CsrMatrix::from_triples(&Triples::from_entries(nrows, ncols, entries))
+            },
+        )
+    }
+
+    /// Run one (a, b) pair through both accumulator variants and compare
+    /// against the dense reference — the satellite coverage pitting the SPA
+    /// and the hash accumulator against each other over a semiring.
+    fn check_both_policies<S>(a: &CsrMatrix<S::Left>, b: &CsrMatrix<S::Right>) -> Result<(), TestCaseError>
+    where
+        S: Semiring,
+        S::Out: PartialEq + std::fmt::Debug,
+    {
+        let dense = dense_reference_spgemm::<S>(a, b);
+        for policy in [AccumPolicy::ForceDense, AccumPolicy::ForceHash] {
+            let flops = FlopCounter::new();
+            let c = spgemm_stages::<S, _>(a.nrows(), b.ncols(), &[(a, b)], policy, &flops);
+            prop_assert!(c.validate().is_ok());
+            prop_assert!(matches_dense(&c, &dense), "policy {policy:?} disagrees with dense");
+            prop_assert_eq!(
+                flops.flops() % 2,
+                0,
+                "flops are counted in multiply-add pairs"
+            );
+        }
+        Ok(())
+    }
+
     proptest! {
         #[test]
         fn prop_spgemm_matches_dense_reference(
@@ -314,6 +788,51 @@ mod tests {
             prop_assert!(c.validate().is_ok());
             let dense = dense_reference_spgemm::<PlusTimes<i64>>(&a, &b);
             prop_assert!(matches_dense(&c, &dense));
+        }
+
+        #[test]
+        fn prop_both_accumulators_match_dense_plus_times(
+            a in arb_matrix(8, 6),
+            b in arb_matrix(6, 9),
+        ) {
+            check_both_policies::<PlusTimes<i64>>(&a, &b)?;
+        }
+
+        #[test]
+        fn prop_both_accumulators_match_dense_min_plus(
+            a in arb_u64_matrix(7, 6),
+            b in arb_u64_matrix(6, 8),
+        ) {
+            check_both_policies::<MinPlusNum<u64>>(&a, &b)?;
+        }
+
+        #[test]
+        fn prop_both_accumulators_match_dense_bool(
+            a in arb_bool_matrix(7, 6),
+            b in arb_bool_matrix(6, 8),
+        ) {
+            check_both_policies::<BoolAndOr>(&a, &b)?;
+        }
+
+        #[test]
+        fn prop_abt_equals_product_with_transpose(
+            a in arb_matrix(7, 5),
+            b in arb_matrix(6, 5),
+        ) {
+            let direct = local_spgemm_abt::<PlusTimes<i64>>(&a, &b);
+            prop_assert!(direct.validate().is_ok());
+            let via_t = local_spgemm::<PlusTimes<i64>>(&a, &b.transpose());
+            prop_assert_eq!(direct, via_t);
+        }
+
+        #[test]
+        fn prop_symmetric_aat_equals_product_with_transpose(
+            a in arb_matrix(9, 6),
+        ) {
+            let sym = local_spgemm_aat::<PlusTimes<i64>>(&a);
+            prop_assert!(sym.validate().is_ok());
+            let via_t = local_spgemm::<PlusTimes<i64>>(&a, &a.transpose());
+            prop_assert_eq!(sym, via_t);
         }
 
         #[test]
@@ -352,6 +871,17 @@ mod tests {
             }
             let assembled = rows_to_csr(a.nrows(), b.ncols(), partial);
             prop_assert_eq!(full, assembled);
+        }
+
+        #[test]
+        fn prop_baseline_and_accumulator_kernels_agree(
+            a in arb_matrix(9, 7),
+            b in arb_matrix(7, 8),
+        ) {
+            prop_assert_eq!(
+                local_spgemm_baseline::<PlusTimes<i64>>(&a, &b),
+                local_spgemm::<PlusTimes<i64>>(&a, &b)
+            );
         }
     }
 }

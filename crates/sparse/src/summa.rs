@@ -8,13 +8,50 @@
 //! broadcasts here move no bytes — but their cost is recorded in
 //! [`CommStats`], which is exactly the quantity Table I of the paper models
 //! (`W_2D = a·m/sqrt(P)`, `Y_2D = sqrt(P)` for overlap detection).
+//!
+//! Each rank hands **all** its stage pairs to [`spgemm_stages`] at once, so
+//! every output row is accumulated in place across the `sqrt(P)` stages by
+//! one reusable per-worker accumulator and extracted exactly once — there is
+//! no per-stage sorted merge.  [`summa_abt`] computes the transpose-free
+//! `C = A·Bᵀ` (overlap detection's `A·Aᵀ`) by broadcasting `B`'s blocks in
+//! locally-converted column-major form instead of materialising and
+//! re-distributing a second (transposed) matrix.
+//!
+//! Every SUMMA records its arithmetic into `CommStats::extras` under
+//! phase-suffixed keys (see [`flops_key`], [`probes_key`],
+//! [`peak_row_width_key`]), which is how the pipeline reports flops/s per
+//! phase.
 
+use crate::accum::{AccumPolicy, FlopCounter};
 use crate::csr::CsrMatrix;
 use crate::distmat::DistMat2D;
 use crate::semiring::Semiring;
-use crate::spgemm::{rows_to_csr, spgemm_accumulate};
+use crate::spgemm::spgemm_stages;
 use dibella_dist::collectives::record_broadcast;
 use dibella_dist::{par_ranks, words_of, CommPhase, CommStats};
+
+/// The `CommStats::extras` key carrying useful SpGEMM flops for `phase`.
+pub fn flops_key(phase: CommPhase) -> String {
+    format!("spgemm_flops_{}", phase.name())
+}
+
+/// The `CommStats::extras` key carrying accumulator probes for `phase`.
+pub fn probes_key(phase: CommPhase) -> String {
+    format!("spgemm_probes_{}", phase.name())
+}
+
+/// The `CommStats::extras` key carrying the peak accumulated row width for
+/// `phase` (a maximum, not a sum).
+pub fn peak_row_width_key(phase: CommPhase) -> String {
+    format!("spgemm_peak_row_width_{}", phase.name())
+}
+
+/// Fold a finished SpGEMM's [`FlopCounter`] into `stats` under `phase`.
+fn record_flops(stats: &CommStats, phase: CommPhase, flops: &FlopCounter) {
+    stats.bump_extra(&flops_key(phase), flops.flops());
+    stats.bump_extra(&probes_key(phase), flops.probes());
+    stats.max_extra(&peak_row_width_key(phase), flops.peak_row_width());
+}
 
 /// Compute `C = A·B` over semiring `S` with Sparse SUMMA, recording
 /// communication into `stats` under `phase`.
@@ -71,30 +108,130 @@ pub fn summa_with_words<S: Semiring>(
     }
     stats.bump_extra("summa_stages", stages as u64);
 
-    // Owner-computes: every output block accumulates its sqrt(P) partial
-    // products.  Ranks run in parallel; each stage's local multiply is itself
-    // row-parallel inside `spgemm_accumulate`.
+    // Owner-computes: every rank hands its sqrt(P) stage pairs to one
+    // accumulate-in-place block multiply.  Ranks run in parallel; inside each
+    // rank the multiply is row-parallel on the same thread budget.
     let row_dist = a.row_dist();
     let col_dist = b.col_dist();
+    let flops = FlopCounter::new();
     let blocks: Vec<CsrMatrix<S::Out>> = par_ranks(grid.nprocs(), |rank| {
         let (i, j) = grid.coords(rank);
-        let out_rows = row_dist.size(i);
-        let out_cols = col_dist.size(j);
-        let mut partial: Vec<Vec<(usize, S::Out)>> = vec![Vec::new(); out_rows];
-        for k in 0..stages {
-            let a_block = a.block(i, k);
-            let b_block = b.block(k, j);
-            if a_block.is_empty() || b_block.is_empty() {
-                continue;
-            }
-            spgemm_accumulate::<S>(a_block, b_block, &mut partial);
-        }
-        rows_to_csr(out_rows, out_cols, partial)
+        let pairs: Vec<(&CsrMatrix<S::Left>, &CsrMatrix<S::Right>)> = (0..stages)
+            .filter_map(|k| {
+                let a_block = a.block(i, k);
+                let b_block = b.block(k, j);
+                (!a_block.is_empty() && !b_block.is_empty()).then_some((a_block, b_block))
+            })
+            .collect();
+        spgemm_stages::<S, _>(
+            row_dist.size(i),
+            col_dist.size(j),
+            &pairs,
+            AccumPolicy::Auto,
+            &flops,
+        )
     });
+    record_flops(stats, phase, &flops);
 
-    DistMat2D::from_block_fn(grid, a.nrows(), b.ncols(), |i, j| {
-        blocks[grid.rank_of(i, j)].clone()
-    })
+    DistMat2D::from_blocks(grid, a.nrows(), b.ncols(), blocks)
+}
+
+/// Compute `C = A·Bᵀ` over semiring `S` with Sparse SUMMA, **without
+/// materialising `Bᵀ`**: in stage `k`, rank `(i, j)` accumulates
+/// `A_{i,k} · (B_{j,k})ᵀ`, walking `B_{j,k}` in column-major form (each
+/// block converted locally exactly once).  This is the kernel overlap
+/// detection uses for `C = A·Aᵀ` (pass the same matrix twice), replacing the
+/// distributed `transpose()` round-trip.
+pub fn summa_abt<S: Semiring>(
+    a: &DistMat2D<S::Left>,
+    b: &DistMat2D<S::Right>,
+    stats: &CommStats,
+    phase: CommPhase,
+) -> DistMat2D<S::Out> {
+    summa_abt_with_words::<S>(
+        a,
+        b,
+        stats,
+        phase,
+        words_of::<S::Left>() + 1,
+        words_of::<S::Right>() + 1,
+    )
+}
+
+/// [`summa_abt`] with explicit per-entry word costs for the two operands.
+pub fn summa_abt_with_words<S: Semiring>(
+    a: &DistMat2D<S::Left>,
+    b: &DistMat2D<S::Right>,
+    stats: &CommStats,
+    phase: CommPhase,
+    a_entry_words: u64,
+    b_entry_words: u64,
+) -> DistMat2D<S::Out> {
+    let grid = a.grid();
+    assert_eq!(grid, b.grid(), "SUMMA operands must share a process grid");
+    assert!(grid.is_square(), "Sparse SUMMA requires a square process grid");
+    assert_eq!(
+        a.ncols(),
+        b.ncols(),
+        "inner dimension mismatch for A·Bᵀ: A is {}x{}, B is {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    assert_eq!(a.col_dist(), b.col_dist(), "inner-dimension distributions must match");
+
+    let stages = grid.cols();
+
+    // Stage broadcasts: A_{i,k} travels along grid row i exactly as in
+    // [`summa`]; the role of B_{k,j} is played by (B_{j,k})ᵀ, so block
+    // B_{j,k} travels along grid column j.  Volumes match a SUMMA on a
+    // materialised transpose, as they must — only the local representation
+    // (CSC view instead of transposed CSR) differs.
+    for k in 0..stages {
+        for i in 0..grid.rows() {
+            let words = a.block_nnz(i, k) as u64 * a_entry_words;
+            record_broadcast(stats, phase, words, grid.cols());
+        }
+        for j in 0..grid.rows() {
+            let words = b.block_nnz(j, k) as u64 * b_entry_words;
+            record_broadcast(stats, phase, words, grid.rows());
+        }
+    }
+    stats.bump_extra("summa_stages", stages as u64);
+
+    // Convert each B block to column-major form exactly once, shared by
+    // every rank in the block's grid column.  A contiguous local transpose
+    // beats the zero-copy CSC view here because each block is walked once
+    // per stage by a whole grid column of ranks (high reuse), and no second
+    // *distributed* matrix is ever assembled — which is what the old
+    // `a.transpose()` round-trip paid for.
+    let columns: Vec<CsrMatrix<S::Right>> =
+        par_ranks(grid.nprocs(), |rank| b.blocks()[rank].transpose());
+
+    let row_dist = a.row_dist();
+    let out_col_dist = b.row_dist();
+    let flops = FlopCounter::new();
+    let blocks: Vec<CsrMatrix<S::Out>> = par_ranks(grid.nprocs(), |rank| {
+        let (i, j) = grid.coords(rank);
+        let pairs: Vec<(&CsrMatrix<S::Left>, &CsrMatrix<S::Right>)> = (0..stages)
+            .filter_map(|k| {
+                let a_block = a.block(i, k);
+                let view = &columns[grid.rank_of(j, k)];
+                (!a_block.is_empty() && !view.is_empty()).then_some((a_block, view))
+            })
+            .collect();
+        spgemm_stages::<S, _>(
+            row_dist.size(i),
+            out_col_dist.size(j),
+            &pairs,
+            AccumPolicy::Auto,
+            &flops,
+        )
+    });
+    record_flops(stats, phase, &flops);
+
+    DistMat2D::from_blocks(grid, a.nrows(), b.nrows(), blocks)
 }
 
 #[cfg(test)]
@@ -194,6 +331,83 @@ mod tests {
     }
 
     #[test]
+    fn summa_records_flops_per_phase() {
+        let grid = ProcessGrid::square(4);
+        let at = random_triples(16, 16, 80, 9);
+        let a = DistMat2D::from_triples(grid, &at);
+        let b = DistMat2D::from_triples(grid, &random_triples(16, 16, 80, 10));
+        let stats = CommStats::new();
+        let _ = summa::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::OverlapDetection);
+        assert!(stats.extra(&flops_key(CommPhase::OverlapDetection)) > 0);
+        assert!(stats.extra(&probes_key(CommPhase::OverlapDetection)) > 0);
+        assert!(stats.extra(&peak_row_width_key(CommPhase::OverlapDetection)) > 0);
+        assert_eq!(stats.extra(&flops_key(CommPhase::TransitiveReduction)), 0);
+        // 2 flops per accumulated product.
+        assert_eq!(stats.extra(&flops_key(CommPhase::OverlapDetection)) % 2, 0);
+    }
+
+    #[test]
+    fn summa_flops_are_independent_of_the_grid() {
+        let at = random_triples(20, 20, 150, 11);
+        let bt = random_triples(20, 20, 150, 12);
+        let mut flops = Vec::new();
+        for p in [1usize, 4, 16] {
+            let grid = ProcessGrid::square(p);
+            let a = DistMat2D::from_triples(grid, &at);
+            let b = DistMat2D::from_triples(grid, &bt);
+            let stats = CommStats::new();
+            let _ = summa::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other);
+            flops.push(stats.extra(&flops_key(CommPhase::Other)));
+        }
+        assert!(flops[0] > 0);
+        assert_eq!(flops[0], flops[1], "useful flops must not depend on the decomposition");
+        assert_eq!(flops[0], flops[2]);
+    }
+
+    #[test]
+    fn summa_abt_matches_summa_against_materialised_transpose() {
+        for p in [1usize, 4, 9] {
+            let grid = ProcessGrid::square(p);
+            let at = random_triples(13, 17, 60, 21);
+            let bt = random_triples(10, 17, 50, 22);
+            let a = DistMat2D::from_triples(grid, &at);
+            let b = DistMat2D::from_triples(grid, &bt);
+            let stats_abt = CommStats::new();
+            let direct =
+                summa_abt::<PlusTimes<i64>>(&a, &b, &stats_abt, CommPhase::OverlapDetection);
+            let stats_t = CommStats::new();
+            let via_t = summa::<PlusTimes<i64>>(
+                &a,
+                &b.transpose(),
+                &stats_t,
+                CommPhase::OverlapDetection,
+            );
+            assert_eq!(direct.to_local_csr(), via_t.to_local_csr(), "P={p}");
+            // Same blocks travel in both formulations, so the accounted
+            // volumes must agree too.
+            assert_eq!(
+                stats_abt.words(CommPhase::OverlapDetection),
+                stats_t.words(CommPhase::OverlapDetection),
+                "P={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn summa_aat_squares_without_transposing() {
+        let grid = ProcessGrid::square(4);
+        let at = random_triples(15, 12, 70, 31);
+        let a = DistMat2D::from_triples(grid, &at);
+        let stats = CommStats::new();
+        let c = summa_abt::<PlusTimes<i64>>(&a, &a, &stats, CommPhase::OverlapDetection);
+        let local_a = CsrMatrix::from_triples(&at);
+        let want = local_spgemm::<PlusTimes<i64>>(&local_a, &local_a.transpose());
+        assert_eq!(c.to_local_csr(), want);
+        assert_eq!(c.nrows(), 15);
+        assert_eq!(c.ncols(), 15);
+    }
+
+    #[test]
     #[should_panic(expected = "square process grid")]
     fn summa_rejects_non_square_grid() {
         let grid = ProcessGrid::new(1, 2);
@@ -211,6 +425,16 @@ mod tests {
         let b = DistMat2D::from_triples(grid, &random_triples(4, 4, 4, 8));
         let stats = CommStats::new();
         let _ = summa::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn summa_abt_rejects_dimension_mismatch() {
+        let grid = ProcessGrid::square(4);
+        let a = DistMat2D::from_triples(grid, &random_triples(4, 5, 4, 7));
+        let b = DistMat2D::from_triples(grid, &random_triples(4, 4, 4, 8));
+        let stats = CommStats::new();
+        let _ = summa_abt::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other);
     }
 
     proptest! {
@@ -232,6 +456,29 @@ mod tests {
             let stats = CommStats::new();
             let c = summa::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::OverlapDetection);
             let local = local_spgemm::<PlusTimes<i64>>(
+                &CsrMatrix::from_triples(&at),
+                &CsrMatrix::from_triples(&bt),
+            );
+            prop_assert_eq!(c.to_local_csr(), local);
+        }
+
+        #[test]
+        fn prop_summa_abt_equals_local_abt(
+            seed_a in 0u64..1000,
+            seed_b in 0u64..1000,
+            grid_side in 1usize..4,
+            n in 6usize..18,
+            m in 6usize..18,
+            k in 6usize..18,
+        ) {
+            let at = random_triples(n, m, n * m / 3, seed_a);
+            let bt = random_triples(k, m, k * m / 3, seed_b);
+            let grid = ProcessGrid::square(grid_side * grid_side);
+            let a = DistMat2D::from_triples(grid, &at);
+            let b = DistMat2D::from_triples(grid, &bt);
+            let stats = CommStats::new();
+            let c = summa_abt::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other);
+            let local = crate::spgemm::local_spgemm_abt::<PlusTimes<i64>>(
                 &CsrMatrix::from_triples(&at),
                 &CsrMatrix::from_triples(&bt),
             );

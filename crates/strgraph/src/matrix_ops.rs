@@ -35,7 +35,7 @@ where
             f(roff + r, coff + c, x, y)
         })
     });
-    DistMat2D::from_block_fn(grid, a.nrows(), a.ncols(), |i, j| blocks[grid.rank_of(i, j)].clone())
+    DistMat2D::from_blocks(grid, a.nrows(), a.ncols(), blocks)
 }
 
 /// The set difference `nonzeros(a) \ nonzeros(mask)` on identically-distributed
@@ -53,7 +53,7 @@ where
         let (bi, bj) = grid.coords(rank);
         set_difference(a.block(bi, bj), mask.block(bi, bj))
     });
-    DistMat2D::from_block_fn(grid, a.nrows(), a.ncols(), |i, j| blocks[grid.rank_of(i, j)].clone())
+    DistMat2D::from_blocks(grid, a.nrows(), a.ncols(), blocks)
 }
 
 #[cfg(test)]

@@ -204,6 +204,24 @@ mod tests {
     }
 
     #[test]
+    fn squarings_record_flops_under_the_tr_phase() {
+        let r = chain_overlap_graph(8, 2);
+        let dist = to_dist(&r, ProcessGrid::square(4));
+        let comm = CommStats::new();
+        let out = transitive_reduction(&dist, &TransitiveReductionConfig::for_tests(), &comm);
+        assert!(out.iterations >= 1);
+        let flops =
+            comm.extra(&dibella_sparse::summa::flops_key(CommPhase::TransitiveReduction));
+        assert!(flops > 0, "R² squarings must tally useful flops");
+        assert_eq!(flops % 2, 0, "flops come in multiply-add pairs");
+        assert!(
+            comm.extra(&dibella_sparse::summa::peak_row_width_key(
+                CommPhase::TransitiveReduction
+            )) > 0
+        );
+    }
+
+    #[test]
     fn reduction_is_idempotent() {
         let r = chain_overlap_graph(8, 3);
         let dist = to_dist(&r, ProcessGrid::square(4));

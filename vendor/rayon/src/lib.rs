@@ -1,20 +1,24 @@
-//! Vendored stand-in for the subset of `rayon` this workspace uses.
+//! Vendored stand-in for the subset of `rayon` this workspace uses — now with
+//! a real thread pool.
 //!
 //! The build environment has no access to crates.io (see `vendor/README.md`),
 //! so this crate provides the three `par_iter` entry-point traits with the
-//! same names and method signatures as rayon's, returning **ordinary
-//! sequential iterators**.  Every adapter the workspace chains after them
-//! (`map`, `enumerate`, `filter_map`, `for_each`, `collect`, …) is then just a
-//! std `Iterator` method, so call sites compile unchanged against either this
-//! shim or the real rayon.
+//! same names and method signatures as rayon's.  Unlike the original
+//! sequential shim, the adapter chains now execute on a **work-stealing
+//! thread pool** ([`pool`]): items are claimed in chunks from a shared atomic
+//! work queue, so a worker that finishes its chunk early steals the next
+//! available chunk instead of idling.
 //!
-//! Sequential execution is deterministic by construction, which is exactly
-//! what the diBELLA 2D reproduction needs: results must not depend on the
-//! virtual process count or the thread count.  Real multi-core parallelism
-//! for the per-rank loops lives in `dibella_dist::par_ranks`, which uses
-//! scoped std threads and does not go through this shim.
+//! Determinism is preserved by construction: every item's result is written
+//! into a slot addressed by its source index, so the assembled output is
+//! identical for any thread count and any interleaving.  Tests can pin the
+//! worker count with [`pool::with_thread_limit`].
 //!
 //! Swapping in the real rayon is a one-line change in the workspace manifest.
+
+pub mod pool;
+
+use pool::SharedSlots;
 
 /// The traits a `use rayon::prelude::*` is expected to bring into scope.
 pub mod prelude {
@@ -24,26 +28,175 @@ pub mod prelude {
     };
 }
 
-/// Marker alias for rayon's `ParallelIterator`.  In this sequential shim every
-/// std iterator qualifies, so adapter chains type-check identically.
-pub trait ParallelIterator: Iterator + Sized {}
-impl<I: Iterator> ParallelIterator for I {}
+/// Marker trait implemented by the concrete parallel iterator types of this
+/// shim ([`ParSource`] and [`ParIter`]), mirroring rayon's trait of the same
+/// name for `use rayon::prelude::*` compatibility.
+pub trait ParallelIterator {}
+
+/// A materialised parallel-iterator source: the items of the underlying
+/// collection, ready to be fanned out over the pool.
+pub struct ParSource<S> {
+    items: Vec<S>,
+}
+
+impl<S> ParallelIterator for ParSource<S> {}
+
+/// A parallel pipeline: the source items plus the composed per-item
+/// transformation (`map` / `filter` / `filter_map` / `enumerate` stages fused
+/// into one closure).  The transformation runs on the pool at the terminal
+/// operation (`collect`, `for_each`).
+pub struct ParIter<S, T, F: Fn(usize, S) -> Option<T>> {
+    items: Vec<S>,
+    f: F,
+}
+
+impl<S, T, F: Fn(usize, S) -> Option<T>> ParallelIterator for ParIter<S, T, F> {}
+
+impl<S: Send> ParSource<S> {
+    /// Transform every item with `g`, in parallel.
+    pub fn map<U: Send>(
+        self,
+        g: impl Fn(S) -> U + Sync,
+    ) -> ParIter<S, U, impl Fn(usize, S) -> Option<U> + Sync>
+    where
+        S: Send,
+    {
+        ParIter { items: self.items, f: move |_, s| Some(g(s)) }
+    }
+
+    /// Keep only items for which `pred` holds.
+    pub fn filter(
+        self,
+        pred: impl Fn(&S) -> bool + Sync,
+    ) -> ParIter<S, S, impl Fn(usize, S) -> Option<S> + Sync> {
+        ParIter { items: self.items, f: move |_, s| pred(&s).then_some(s) }
+    }
+
+    /// Transform and filter in one step.
+    pub fn filter_map<U: Send>(
+        self,
+        g: impl Fn(S) -> Option<U> + Sync,
+    ) -> ParIter<S, U, impl Fn(usize, S) -> Option<U> + Sync> {
+        ParIter { items: self.items, f: move |_, s| g(s) }
+    }
+
+    /// Pair every item with its source index.
+    pub fn enumerate(self) -> ParIter<S, (usize, S), impl Fn(usize, S) -> Option<(usize, S)> + Sync>
+    {
+        ParIter { items: self.items, f: |i, s| Some((i, s)) }
+    }
+
+    /// Run `g` on every item, in parallel.
+    pub fn for_each(self, g: impl Fn(S) + Sync) {
+        ParIter { items: self.items, f: |_, s| Some(s) }.for_each(g)
+    }
+
+    /// Collect the items (identity pipeline) into `C`.
+    pub fn collect<C: FromParallelIterator<S>>(self) -> C {
+        ParIter { items: self.items, f: |_, s| Some(s) }.collect()
+    }
+}
+
+impl<S: Send, T: Send, F: Fn(usize, S) -> Option<T> + Sync> ParIter<S, T, F> {
+    /// Transform every surviving item with `g`, in parallel.
+    pub fn map<U: Send>(
+        self,
+        g: impl Fn(T) -> U + Sync,
+    ) -> ParIter<S, U, impl Fn(usize, S) -> Option<U> + Sync> {
+        let f = self.f;
+        ParIter { items: self.items, f: move |i, s| f(i, s).map(&g) }
+    }
+
+    /// Keep only items for which `pred` holds.
+    pub fn filter(
+        self,
+        pred: impl Fn(&T) -> bool + Sync,
+    ) -> ParIter<S, T, impl Fn(usize, S) -> Option<T> + Sync> {
+        let f = self.f;
+        ParIter { items: self.items, f: move |i, s| f(i, s).filter(&pred) }
+    }
+
+    /// Transform and filter in one step.
+    pub fn filter_map<U: Send>(
+        self,
+        g: impl Fn(T) -> Option<U> + Sync,
+    ) -> ParIter<S, U, impl Fn(usize, S) -> Option<U> + Sync> {
+        let f = self.f;
+        ParIter { items: self.items, f: move |i, s| f(i, s).and_then(&g) }
+    }
+
+    /// Pair every surviving item with its **source** index (valid straight
+    /// after the source, matching rayon's indexed-iterator contract).
+    pub fn enumerate(self) -> ParIter<S, (usize, T), impl Fn(usize, S) -> Option<(usize, T)> + Sync>
+    {
+        let f = self.f;
+        ParIter { items: self.items, f: move |i, s| f(i, s).map(|t| (i, t)) }
+    }
+
+    /// Run `g` on every surviving item, in parallel on the pool.
+    pub fn for_each(self, g: impl Fn(T) + Sync) {
+        let slots = SharedSlots::new(self.items);
+        let f = &self.f;
+        let g = &g;
+        pool::for_each_index(slots.len(), || (), |(), i| {
+            if let Some(t) = f(i, slots.take(i)) {
+                g(t);
+            }
+        });
+    }
+
+    /// Run the pipeline on the pool and collect into `C`, preserving source
+    /// order (results are written into per-index slots, so the output is
+    /// independent of the thread count).
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        let n = self.items.len();
+        let slots = SharedSlots::new(self.items);
+        let out: SharedSlots<T> = SharedSlots::empty(n);
+        let f = &self.f;
+        pool::for_each_index(n, || (), |(), i| {
+            if let Some(t) = f(i, slots.take(i)) {
+                out.put(i, t);
+            }
+        });
+        C::from_ordered_slots(out.into_options())
+    }
+}
+
+/// Conversion from the pipeline's per-index result slots (rayon's
+/// `FromParallelIterator`).  `None` slots are items removed by
+/// `filter`/`filter_map`.
+pub trait FromParallelIterator<T>: Sized {
+    /// Assemble the collection from the in-order result slots.
+    fn from_ordered_slots(slots: Vec<Option<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_slots(slots: Vec<Option<T>>) -> Self {
+        slots.into_iter().flatten().collect()
+    }
+}
+
+impl<U, E> FromParallelIterator<Result<U, E>> for Result<Vec<U>, E> {
+    fn from_ordered_slots(slots: Vec<Option<Result<U, E>>>) -> Self {
+        slots.into_iter().flatten().collect()
+    }
+}
 
 /// `into_par_iter()` — by-value iteration, rayon's `IntoParallelIterator`.
 pub trait IntoParallelIterator {
     /// Element type produced by the iterator.
     type Item;
-    /// Concrete iterator type (sequential in this shim).
-    type Iter: Iterator<Item = Self::Item>;
-    /// Convert `self` into a (sequential) "parallel" iterator.
+    /// Concrete parallel iterator type.
+    type Iter;
+    /// Convert `self` into a parallel iterator over the pool.
     fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<I: IntoIterator> IntoParallelIterator for I {
     type Item = I::Item;
-    type Iter = I::IntoIter;
+    type Iter = ParSource<I::Item>;
     fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+        ParSource { items: self.into_iter().collect() }
     }
 }
 
@@ -52,9 +205,9 @@ impl<I: IntoIterator> IntoParallelIterator for I {
 pub trait IntoParallelRefIterator<'data> {
     /// Element type produced by the iterator.
     type Item: 'data;
-    /// Concrete iterator type (sequential in this shim).
-    type Iter: Iterator<Item = Self::Item>;
-    /// Iterate `&self` as a (sequential) "parallel" iterator.
+    /// Concrete parallel iterator type.
+    type Iter;
+    /// Iterate `&self` as a parallel iterator.
     fn par_iter(&'data self) -> Self::Iter;
 }
 
@@ -63,9 +216,9 @@ where
     &'data C: IntoIterator,
 {
     type Item = <&'data C as IntoIterator>::Item;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Iter = ParSource<Self::Item>;
     fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
+        ParSource { items: self.into_iter().collect() }
     }
 }
 
@@ -74,9 +227,9 @@ where
 pub trait IntoParallelRefMutIterator<'data> {
     /// Element type produced by the iterator.
     type Item: 'data;
-    /// Concrete iterator type (sequential in this shim).
-    type Iter: Iterator<Item = Self::Item>;
-    /// Iterate `&mut self` as a (sequential) "parallel" iterator.
+    /// Concrete parallel iterator type.
+    type Iter;
+    /// Iterate `&mut self` as a parallel iterator.
     fn par_iter_mut(&'data mut self) -> Self::Iter;
 }
 
@@ -85,24 +238,27 @@ where
     &'data mut C: IntoIterator,
 {
     type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Iter = ParSource<Self::Item>;
     fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+        ParSource { items: self.into_iter().collect() }
     }
 }
 
-/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+/// Run `a` and `b`, in parallel when a worker can be reserved from the pool's
+/// budget, falling back to sequential execution otherwise.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
+    A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB,
+    RA: Send,
 {
-    (a(), b())
+    pool::join(a, b)
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn adapters_compose_like_rayon() {
@@ -126,5 +282,45 @@ mod tests {
             .map(|x| if x < 0 { Err("negative".to_string()) } else { Ok(x) })
             .collect();
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn results_are_in_source_order_for_any_thread_count() {
+        for threads in [1usize, 2, 4, 8] {
+            let got: Vec<usize> = pool::with_thread_limit(threads, || {
+                (0..1000usize).into_par_iter().map(|i| i * 3).collect()
+            });
+            let want: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn filter_map_drops_and_keeps_in_order() {
+        let got: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 7 == 0).then_some(i))
+            .collect();
+        let want: Vec<usize> = (0..100).filter(|i| i % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chained_adapters_after_enumerate() {
+        let v = vec![10u32, 20, 30, 40];
+        let got: Vec<(usize, u32)> = v
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| (i, x + 1))
+            .filter(|(i, _)| i % 2 == 0)
+            .collect();
+        assert_eq!(got, vec![(0, 11), (2, 31)]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
     }
 }

@@ -1,0 +1,423 @@
+//! A work-stealing thread pool built on scoped threads and a chunked atomic
+//! work queue.
+//!
+//! Work items are the indices `0..n` of a parallel loop.  All workers
+//! (including the calling thread) repeatedly claim the next chunk of indices
+//! from a shared [`AtomicUsize`] cursor; a worker that finishes early simply
+//! claims — *steals* — the next chunk instead of idling, which gives the
+//! dynamic load balance of a stealing deque without per-worker queues.
+//!
+//! Two properties matter to the rest of the workspace:
+//!
+//! * **Determinism.** Results are always written into slots addressed by the
+//!   item index ([`SharedSlots`]), never appended, so the assembled output is
+//!   bit-identical for every thread count and every interleaving.  Tests pin
+//!   the worker count with [`with_thread_limit`] only to exercise specific
+//!   schedules, not to get reproducible answers.
+//! * **A global thread budget.** Parallel loops nest (per-rank SUMMA blocks
+//!   on the outside, per-row SpGEMM on the inside).  Spawning
+//!   `limit × limit` threads would oversubscribe the host, so workers are
+//!   reserved against a process-wide budget of `available_parallelism() - 1`
+//!   extra threads; a nested loop that finds the budget exhausted runs inline
+//!   on its caller.  An explicit [`with_thread_limit`] pin bypasses the
+//!   budget (tests rely on exact worker counts).
+
+use std::cell::{Cell, UnsafeCell};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of *extra* worker threads currently running across the process
+/// (the budget-governed kind; explicit pins bypass this).
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Explicit per-context worker-count pin, propagated into spawned workers.
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of hardware threads (1 if it cannot be determined).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The worker count parallel loops in this context will use: the innermost
+/// [`with_thread_limit`] pin, or the hardware thread count.
+pub fn current_thread_limit() -> usize {
+    THREAD_LIMIT.with(|c| c.get()).unwrap_or_else(hardware_threads).max(1)
+}
+
+/// Run `body` with the worker count for contained parallel loops pinned to
+/// `threads` (propagated into nested loops, restored afterwards).
+pub fn with_thread_limit<T>(threads: usize, body: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_LIMIT.with(|c| c.set(prev));
+        }
+    }
+    let prev = THREAD_LIMIT.with(|c| c.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    body()
+}
+
+/// Reserve up to `want` extra workers against the global budget; returns how
+/// many were granted (0 means: run inline).  Pair with [`WorkerLease`]'s drop.
+fn reserve_extra_workers(want: usize, explicit: bool) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    if explicit {
+        // An explicit pin means "use exactly this many workers" — tests use it
+        // to exercise specific schedules, so honour it even when oversubscribed.
+        ACTIVE_WORKERS.fetch_add(want, Ordering::Relaxed);
+        return want;
+    }
+    let budget = hardware_threads().saturating_sub(1);
+    let mut current = ACTIVE_WORKERS.load(Ordering::Relaxed);
+    loop {
+        let grant = want.min(budget.saturating_sub(current));
+        if grant == 0 {
+            return 0;
+        }
+        match ACTIVE_WORKERS.compare_exchange_weak(
+            current,
+            current + grant,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return grant,
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// RAII release of reserved workers (also on panic, so a failing test does
+/// not starve the budget for the rest of the process).
+struct WorkerLease(usize);
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Execute `body(&mut state, index)` for every index in `0..n` on the pool.
+///
+/// `init` creates one `state` per participating worker thread, created lazily
+/// on the worker's first chunk and reused across all chunks it claims — this
+/// is how SpGEMM reuses one accumulator across many rows.  Chunks are claimed
+/// from a shared atomic cursor (the work-stealing queue); the calling thread
+/// participates, and panics in workers propagate to the caller.
+pub fn for_each_index<St>(
+    n: usize,
+    init: impl Fn() -> St + Sync,
+    body: impl Fn(&mut St, usize) + Sync,
+) {
+    if n == 0 {
+        return;
+    }
+    let limit = current_thread_limit().min(n);
+    let explicit = THREAD_LIMIT.with(|c| c.get()).is_some();
+    let lease = WorkerLease(reserve_extra_workers(limit - 1, explicit));
+
+    // Chunks small enough for stealing to balance skewed rows, large enough
+    // to amortise the claim; sequential fallback uses one maximal chunk.
+    let workers = lease.0 + 1;
+    let chunk = if workers == 1 { n } else { (n / (workers * 8)).clamp(1, 1024) };
+    let cursor = AtomicUsize::new(0);
+
+    let work = |state: &mut Option<St>| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        let st = state.get_or_insert_with(&init);
+        for i in start..end {
+            body(st, i);
+        }
+    };
+
+    if lease.0 == 0 {
+        work(&mut None);
+        return;
+    }
+    let pin = THREAD_LIMIT.with(|c| c.get());
+    std::thread::scope(|scope| {
+        for _ in 0..lease.0 {
+            let work = &work;
+            scope.spawn(move || {
+                if let Some(pin) = pin {
+                    THREAD_LIMIT.with(|c| c.set(Some(pin)));
+                }
+                work(&mut None);
+            });
+        }
+        work(&mut None);
+    });
+}
+
+/// Evaluate `f(i)` for every `i` in `0..n` on the pool, returning the results
+/// in index order.
+pub fn map_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    map_indexed_with(n, || (), move |(), i| f(i))
+}
+
+/// [`map_indexed`] with per-worker state: `init` runs once per participating
+/// worker and the state is reused across every index that worker claims
+/// (e.g. a scatter accumulator reused across SpGEMM rows).
+pub fn map_indexed_with<T: Send, St>(
+    n: usize,
+    init: impl Fn() -> St + Sync,
+    f: impl Fn(&mut St, usize) -> T + Sync,
+) -> Vec<T> {
+    let out: SharedSlots<T> = SharedSlots::empty(n);
+    for_each_index(n, init, |st, i| out.put(i, f(st, i)));
+    out.into_options()
+        .into_iter()
+        .map(|slot| slot.expect("pool worker filled every slot"))
+        .collect()
+}
+
+/// Apply `f(i, &mut items[i])` to every element on the pool.
+pub fn for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    for_each_mut_with(items, || (), move |(), i, item| f(i, item))
+}
+
+/// [`for_each_mut`] with per-worker state (see [`map_indexed_with`]).
+pub fn for_each_mut_with<T: Send, St>(
+    items: &mut [T],
+    init: impl Fn() -> St + Sync,
+    f: impl Fn(&mut St, usize, &mut T) + Sync,
+) {
+    struct Ptr<T>(*mut T);
+    // SAFETY: the pointer is only dereferenced at distinct indices (each index
+    // is claimed by exactly one worker chunk), so no two threads alias.
+    unsafe impl<T: Send> Send for Ptr<T> {}
+    unsafe impl<T: Send> Sync for Ptr<T> {}
+    let base = Ptr(items.as_mut_ptr());
+    let n = items.len();
+    let base = &base;
+    for_each_index(n, init, move |st, i| {
+        debug_assert!(i < n);
+        // SAFETY: `i < items.len()` and every index is visited exactly once,
+        // so this is an exclusive reference to a distinct element.
+        let item = unsafe { &mut *base.0.add(i) };
+        f(st, i, item);
+    });
+}
+
+/// Run `a` and `b` in parallel when a worker can be reserved, else
+/// sequentially.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    let pin = THREAD_LIMIT.with(|c| c.get());
+    // An explicit pin of 1 means "stay sequential"; larger pins reserve
+    // outside the budget like every other pinned construct.
+    let explicit = pin.is_some();
+    if pin == Some(1) {
+        return (a(), b());
+    }
+    let lease = WorkerLease(reserve_extra_workers(1, explicit));
+    if lease.0 == 0 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(move || {
+            if let Some(pin) = pin {
+                THREAD_LIMIT.with(|c| c.set(Some(pin)));
+            }
+            a()
+        });
+        let rb = b();
+        (ha.join().expect("join worker panicked"), rb)
+    })
+}
+
+/// Fixed-size per-index result slots shared between workers.
+///
+/// Each slot is written (`put`) or consumed (`take`) by exactly one worker —
+/// the chunked cursor hands every index to exactly one claimant — which makes
+/// the interior mutability sound without per-slot locks.
+pub struct SharedSlots<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: workers only access disjoint slots (see type-level docs), and T
+// crossing threads requires T: Send.
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// `n` empty slots.
+    pub fn empty(n: usize) -> Self {
+        Self { slots: (0..n).map(|_| UnsafeCell::new(None)).collect() }
+    }
+
+    /// Slots pre-filled with `items` (for consuming sources).
+    pub fn new(items: Vec<T>) -> Self {
+        Self { slots: items.into_iter().map(|t| UnsafeCell::new(Some(t))).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Move the value out of slot `i`.
+    ///
+    /// # Panics
+    /// Panics if the slot is empty (already taken or never filled).
+    pub fn take(&self, i: usize) -> T {
+        // SAFETY: each index is claimed by exactly one worker, so no other
+        // thread accesses slot `i` concurrently.
+        unsafe { (*self.slots[i].get()).take().expect("slot taken twice") }
+    }
+
+    /// Store `value` into slot `i`.
+    pub fn put(&self, i: usize, value: T) {
+        // SAFETY: as for `take` — slot `i` is owned by the claiming worker.
+        unsafe { *self.slots[i].get() = Some(value) }
+    }
+
+    /// Unwrap into the per-index options (after all workers joined).
+    pub fn into_options(self) -> Vec<Option<T>> {
+        self.slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let calls = AtomicUsize::new(0);
+            let sum = AtomicU64::new(0);
+            with_thread_limit(threads, || {
+                for_each_index(
+                    1000,
+                    || (),
+                    |(), i| {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(i as u64, Ordering::Relaxed);
+                    },
+                );
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 1000, "threads={threads}");
+            assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn map_indexed_is_in_order() {
+        for threads in [1usize, 2, 7] {
+            let got = with_thread_limit(threads, || map_indexed(257, |i| i * i));
+            let want: Vec<usize> = (0..257).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element_once() {
+        for threads in [1usize, 2, 5] {
+            let mut items = vec![0usize; 123];
+            with_thread_limit(threads, || {
+                for_each_mut(&mut items, |i, slot| *slot += i + 1);
+            });
+            for (i, v) in items.iter().enumerate() {
+                assert_eq!(*v, i + 1, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_state_is_reused_across_chunks() {
+        // Count distinct states: must be at most the worker count.
+        let states = AtomicUsize::new(0);
+        with_thread_limit(4, || {
+            for_each_index(
+                10_000,
+                || {
+                    states.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |st, _| *st += 1,
+            );
+        });
+        assert!(states.load(Ordering::Relaxed) <= 4, "more states than workers");
+    }
+
+    #[test]
+    fn thread_limit_propagates_into_workers_and_restores() {
+        let observed = with_thread_limit(3, || map_indexed(8, |_| current_thread_limit()));
+        assert_eq!(observed, vec![3; 8]);
+        let outer = with_thread_limit(3, || {
+            let inner = with_thread_limit(1, current_thread_limit);
+            assert_eq!(inner, 1);
+            current_thread_limit()
+        });
+        assert_eq!(outer, 3);
+    }
+
+    #[test]
+    fn budget_is_released_after_a_panicking_loop() {
+        let before = ACTIVE_WORKERS.load(Ordering::Relaxed);
+        let result = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || {
+                for_each_index(64, || (), |(), i| {
+                    if i == 13 {
+                        panic!("boom");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(ACTIVE_WORKERS.load(Ordering::Relaxed), before, "leaked workers");
+    }
+
+    #[test]
+    fn join_honours_and_propagates_the_thread_pin() {
+        // Pinned to 1: both closures must run on the calling thread.
+        let caller = std::thread::current().id();
+        let (ta, tb) = with_thread_limit(1, || {
+            join(|| std::thread::current().id(), || std::thread::current().id())
+        });
+        assert_eq!(ta, caller);
+        assert_eq!(tb, caller);
+        // Pinned wider: a spawned first closure must still see the pin.
+        let (limit_a, limit_b) =
+            with_thread_limit(3, || join(current_thread_limit, current_thread_limit));
+        assert_eq!(limit_a, 3, "pin must propagate into the spawned side");
+        assert_eq!(limit_b, 3);
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        for_each_index(0, || unreachable!("no state needed"), |_: &mut (), _| {});
+        assert!(map_indexed(0, |i| i).is_empty());
+        for_each_mut::<u8>(&mut [], |_, _| unreachable!());
+    }
+
+    #[test]
+    fn shared_slots_roundtrip() {
+        let s = SharedSlots::new(vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.take(1), 2);
+        s.put(1, 20);
+        assert_eq!(s.into_options(), vec![Some(1), Some(20), Some(3)]);
+    }
+}
