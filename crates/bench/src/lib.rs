@@ -100,6 +100,9 @@ pub struct SimulatedBreakdown {
     pub exchange_read: f64,
     /// Transitive reduction.
     pub tr_reduction: f64,
+    /// Contig extraction plus POA consensus (embarrassingly parallel per
+    /// contig, plus the per-contig read gather).
+    pub consensus: f64,
 }
 
 impl SimulatedBreakdown {
@@ -123,6 +126,7 @@ impl SimulatedBreakdown {
                 CommPhase::TransitiveReduction,
                 p,
             ),
+            consensus: simulated_phase_time(timings.consensus, comm, CommPhase::Consensus, p),
         }
     }
 
@@ -135,6 +139,7 @@ impl SimulatedBreakdown {
             + self.spgemm
             + self.exchange_read
             + self.tr_reduction
+            + self.consensus
     }
 
     /// Total without alignment (right-hand plots of Figures 5–8).
@@ -148,7 +153,7 @@ impl SimulatedBreakdown {
     }
 
     /// The stage values in the order of [`StageTimings::LABELS`].
-    pub fn values(&self) -> [f64; 7] {
+    pub fn values(&self) -> [f64; 8] {
         [
             self.alignment,
             self.read_fastq,
@@ -157,6 +162,7 @@ impl SimulatedBreakdown {
             self.spgemm,
             self.exchange_read,
             self.tr_reduction,
+            self.consensus,
         ]
     }
 }
@@ -220,6 +226,7 @@ mod tests {
             exchange_read: 0.0,
             alignment: 20.0,
             tr_reduction: 2.0,
+            consensus: 3.0,
         };
         let stats = CommStats::new();
         stats.record(CommPhase::OverlapDetection, 1_000_000, 100);

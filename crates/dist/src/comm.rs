@@ -22,17 +22,22 @@ pub enum CommPhase {
     ReadExchange,
     /// The repeated squaring of `R` inside Algorithm 2.
     TransitiveReduction,
+    /// Gathering each contig's reads to its owner rank for the POA consensus
+    /// stage (beyond the paper's pipeline, which stops at the string graph).
+    Consensus,
     /// Anything else (tests, tools, experiments).
     Other,
 }
 
 impl CommPhase {
-    /// All phases, in Table I order.
-    pub const ALL: [CommPhase; 5] = [
+    /// All phases, in Table I order (with the post-paper consensus stage
+    /// before `Other`).
+    pub const ALL: [CommPhase; 6] = [
         CommPhase::KmerCounting,
         CommPhase::OverlapDetection,
         CommPhase::ReadExchange,
         CommPhase::TransitiveReduction,
+        CommPhase::Consensus,
         CommPhase::Other,
     ];
 
@@ -43,6 +48,7 @@ impl CommPhase {
             CommPhase::OverlapDetection => "OverlapDetection",
             CommPhase::ReadExchange => "ReadExchange",
             CommPhase::TransitiveReduction => "TransitiveReduction",
+            CommPhase::Consensus => "Consensus",
             CommPhase::Other => "Other",
         }
     }
@@ -232,7 +238,7 @@ mod tests {
     #[test]
     fn phases_display_with_padding() {
         assert_eq!(format!("{:>20}", CommPhase::KmerCounting), "        KmerCounting");
-        assert_eq!(CommPhase::ALL.len(), 5);
+        assert_eq!(CommPhase::ALL.len(), 6);
         // Ord is needed for the BTreeMap key; spot-check Table I ordering.
         assert!(CommPhase::KmerCounting < CommPhase::TransitiveReduction);
     }

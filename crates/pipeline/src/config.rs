@@ -2,7 +2,7 @@
 
 use dibella_overlap::OverlapConfig;
 use dibella_seq::KmerSelection;
-use dibella_strgraph::TransitiveReductionConfig;
+use dibella_strgraph::{ConsensusConfig, TransitiveReductionConfig};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one diBELLA (1D or 2D) pipeline run.
@@ -14,6 +14,12 @@ pub struct PipelineConfig {
     pub overlap: OverlapConfig,
     /// Transitive reduction settings.
     pub transitive: TransitiveReductionConfig,
+    /// POA consensus settings (band width, scoring).
+    pub consensus: ConsensusConfig,
+    /// Minimum mean Phred quality for a FASTQ read to enter the pipeline
+    /// (0.0 keeps everything; FASTA input carries no qualities and is never
+    /// filtered).
+    pub min_mean_quality: f64,
     /// Number of virtual MPI ranks (must be a perfect square for the 2D
     /// pipeline; the largest square not exceeding it is used otherwise).
     pub nprocs: usize,
@@ -25,6 +31,8 @@ impl Default for PipelineConfig {
             kmer: KmerSelection::paper_default(),
             overlap: OverlapConfig::default(),
             transitive: TransitiveReductionConfig::default(),
+            consensus: ConsensusConfig::default(),
+            min_mean_quality: 0.0,
             nprocs: 4,
         }
     }
@@ -45,6 +53,7 @@ impl PipelineConfig {
             overlap: OverlapConfig::for_tests(k),
             transitive: TransitiveReductionConfig::for_tests(),
             nprocs,
+            ..Self::default()
         }
     }
 
@@ -64,6 +73,7 @@ impl PipelineConfig {
             overlap,
             transitive: TransitiveReductionConfig { fuzz: 500, max_iterations: 16 },
             nprocs,
+            ..Self::default()
         }
     }
 }

@@ -4,13 +4,15 @@
 //! evaluates:
 //!
 //! ```text
-//! reads    ← FastaReader()
+//! reads    ← FastaReader()             (or FastqReader() + mean-Q filter)
 //! k-mers   ← KmerCounter()
 //! A        ← GenerateA(reads, k-mers)
 //! C        ← A·Aᵀ                      (candidate overlaps, custom semiring)
 //! C        ← Apply(C, Alignment())     (x-drop seed-and-extend)
 //! R        ← Prune(C, score < t)
 //! S        ← TransitiveReduction(R)    (Algorithm 2)
+//! contigs  ← ExtractContigs(S)         (layout: maximal unbranched walks)
+//! seq      ← PoaConsensus(contigs)     (consensus: closes the OLC loop)
 //! ```
 //!
 //! * [`config`] — pipeline configuration (k-mer selection, alignment,
@@ -37,5 +39,8 @@ pub mod timings;
 pub use comm_model::{CommModel, ModelParams};
 pub use config::PipelineConfig;
 pub use run1d::{run_dibella_1d, Pipeline1dOutput};
-pub use run2d::{run_dibella_2d, run_dibella_2d_on_reads, Pipeline2dOutput};
+pub use run2d::{
+    run_dibella_2d, run_dibella_2d_fastq, run_dibella_2d_on_reads, ConsensusSummary,
+    Pipeline2dOutput,
+};
 pub use timings::StageTimings;

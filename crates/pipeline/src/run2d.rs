@@ -2,14 +2,17 @@
 
 use crate::config::PipelineConfig;
 use crate::timings::{timed, StageTimings};
-use dibella_dist::{CommSnapshot, CommStats, ProcessGrid};
+use dibella_dist::{par_ranks, CommPhase, CommSnapshot, CommStats, ProcessGrid};
 use dibella_overlap::{
     account_read_exchange_2d, align_candidates, build_a_matrix, detect_candidates_2d,
     OverlapEdge, OverlapStats,
 };
-use dibella_seq::{count_kmers_distributed, parse_fasta, ReadSet};
+use dibella_seq::{count_kmers_distributed, parse_fasta, parse_fastq_filtered, ReadSet};
 use dibella_sparse::DistMat2D;
-use dibella_strgraph::{transitive_reduction, TrOutcome};
+use dibella_strgraph::{
+    consensus_contig, extract_contigs, n50, transitive_reduction, Contig, ContigConsensus,
+    TrOutcome,
+};
 use serde::{Deserialize, Serialize};
 
 /// Everything a diBELLA 2D run produces.
@@ -19,6 +22,12 @@ pub struct Pipeline2dOutput {
     pub string_matrix: DistMat2D<OverlapEdge>,
     /// The overlap matrix `R` (before reduction).
     pub overlap_matrix: DistMat2D<OverlapEdge>,
+    /// Contig layouts extracted from `S` (maximal unbranched walks).
+    pub contigs: Vec<Contig>,
+    /// POA consensus per contig layout, parallel to [`Pipeline2dOutput::contigs`].
+    pub consensus: Vec<ContigConsensus>,
+    /// Aggregate consensus counters (contig counts, POA nodes, N50).
+    pub consensus_summary: ConsensusSummary,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
     /// Communication counters for the whole run.
@@ -59,6 +68,37 @@ pub struct TrSummary {
     pub s_density: f64,
 }
 
+/// A compact, serialisable summary of the consensus stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConsensusSummary {
+    /// Number of contig layouts (consensus sequences).
+    pub contigs: usize,
+    /// Layouts with at least two reads.
+    pub multi_read_contigs: usize,
+    /// Total POA graph nodes across all contigs.
+    pub poa_nodes: u64,
+    /// Total read bases threaded into the POA graphs.
+    pub aligned_bases: u64,
+    /// Total consensus bases emitted.
+    pub consensus_bases: u64,
+    /// N50 over consensus lengths.
+    pub n50: usize,
+}
+
+impl ConsensusSummary {
+    fn new(contigs: &[Contig], consensus: &[ContigConsensus]) -> Self {
+        let lengths: Vec<usize> = consensus.iter().map(|c| c.consensus.len()).collect();
+        Self {
+            contigs: contigs.len(),
+            multi_read_contigs: contigs.iter().filter(|c| c.len() > 1).count(),
+            poa_nodes: consensus.iter().map(|c| c.poa_nodes as u64).sum(),
+            aligned_bases: consensus.iter().map(|c| c.aligned_bases as u64).sum(),
+            consensus_bases: lengths.iter().map(|&l| l as u64).sum(),
+            n50: n50(&lengths),
+        }
+    }
+}
+
 impl TrSummary {
     fn from_outcome(outcome: &TrOutcome, nreads: usize) -> Self {
         Self {
@@ -79,6 +119,24 @@ pub fn run_dibella_2d(fasta: &str, config: &PipelineConfig) -> Result<Pipeline2d
     let comm = CommStats::new();
     let (reads, read_time) = timed(|| parse_fasta(fasta));
     let reads = reads?;
+    let mut out = run_dibella_2d_on_reads(&reads, config, &comm);
+    out.timings.read_fastq = read_time;
+    out.comm = comm.snapshot();
+    Ok(out)
+}
+
+/// Run the diBELLA 2D pipeline on FASTQ text, applying the configuration's
+/// mean-quality read filter (`PipelineConfig::min_mean_quality`) before the
+/// pipeline proper.  The dropped-read count is reported through the
+/// `fastq_dropped_low_quality` extra of the communication snapshot.
+pub fn run_dibella_2d_fastq(
+    fastq: &str,
+    config: &PipelineConfig,
+) -> Result<Pipeline2dOutput, String> {
+    let comm = CommStats::new();
+    let (parsed, read_time) = timed(|| parse_fastq_filtered(fastq, config.min_mean_quality));
+    let (reads, filter_stats) = parsed?;
+    comm.bump_extra("fastq_dropped_low_quality", filter_stats.dropped_low_quality as u64);
     let mut out = run_dibella_2d_on_reads(&reads, config, &comm);
     out.timings.read_fastq = read_time;
     out.comm = comm.snapshot();
@@ -127,8 +185,25 @@ pub fn run_dibella_2d_on_reads(
     let (tr, t_tr) = timed(|| transitive_reduction(&overlap_matrix, &config.transitive, comm));
     timings.tr_reduction = t_tr;
 
+    // Consensus: extract the contig layouts from S and build one POA
+    // consensus per contig on the work-stealing pool, closing the OLC loop.
+    let ((contigs, consensus), t_consensus) = timed(|| {
+        let s_local = tr.string_matrix.to_local_csr();
+        let lengths: Vec<usize> = (0..reads.len()).map(|i| reads.seq(i).len()).collect();
+        let contigs = extract_contigs(&s_local, &lengths);
+        let consensus = par_ranks(contigs.len(), |i| {
+            consensus_contig(&contigs[i], &s_local, reads, &config.consensus)
+        });
+        (contigs, consensus)
+    });
+    timings.consensus = t_consensus;
+    account_consensus(&contigs, &consensus, reads, grid, comm);
+
     Pipeline2dOutput {
         tr_summary: TrSummary::from_outcome(&tr, reads.len()),
+        consensus_summary: ConsensusSummary::new(&contigs, &consensus),
+        contigs,
+        consensus,
         string_matrix: tr.string_matrix,
         overlap_matrix,
         timings,
@@ -144,10 +219,53 @@ pub fn run_dibella_2d_on_reads(
     }
 }
 
+/// Account the communication a real distributed consensus stage would incur:
+/// every multi-read contig is built on one owner rank, so the reads of the
+/// layout that live on other ranks are gathered there (2-bit packed plus a
+/// header word, the read-exchange wire convention).  Also folds the POA
+/// counters into the `CommStats` extras (`poa_graph_nodes`,
+/// `poa_aligned_bases`, `consensus_length`).
+fn account_consensus(
+    contigs: &[Contig],
+    consensus: &[ContigConsensus],
+    reads: &ReadSet,
+    grid: ProcessGrid,
+    comm: &CommStats,
+) {
+    let p = grid.nprocs();
+    let n = reads.len().max(1);
+    let mut words = 0u64;
+    let mut messages = 0u64;
+    for (index, contig) in contigs.iter().enumerate() {
+        if contig.len() < 2 {
+            continue;
+        }
+        let owner = index % p;
+        for &r in &contig.reads {
+            // Balanced block distribution of reads over ranks, as in the
+            // read exchange; self-messages are free.
+            let read_owner = r * p / n;
+            if read_owner != owner {
+                words += (reads.seq(r).len() as u64).div_ceil(32) + 1;
+                messages += 1;
+            }
+        }
+    }
+    comm.record(CommPhase::Consensus, words, messages);
+    comm.bump_extra("poa_graph_nodes", consensus.iter().map(|c| c.poa_nodes as u64).sum());
+    comm.bump_extra(
+        "poa_aligned_bases",
+        consensus.iter().map(|c| c.aligned_bases as u64).sum(),
+    );
+    comm.bump_extra(
+        "consensus_length",
+        consensus.iter().map(|c| c.consensus.len() as u64).sum(),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dibella_dist::CommPhase;
     use dibella_seq::{write_fasta, DatasetSpec};
     use dibella_strgraph::transitive::remaining_transitive_edges;
     use dibella_strgraph::{extract_contigs, BidirectedGraph};
@@ -184,6 +302,7 @@ mod tests {
         assert!(t.spgemm > 0.0);
         assert!(t.alignment > 0.0);
         assert!(t.tr_reduction > 0.0);
+        assert!(t.consensus > 0.0);
         assert!(t.total() >= t.total_without_alignment());
         assert_eq!(t.read_fastq, 0.0, "read set was pre-parsed");
     }
@@ -208,7 +327,11 @@ mod tests {
         assert!(out.comm.phase(CommPhase::OverlapDetection).words > 0);
         assert!(out.comm.phase(CommPhase::ReadExchange).words > 0);
         assert!(out.comm.phase(CommPhase::TransitiveReduction).words > 0);
+        assert!(out.comm.phase(CommPhase::Consensus).words > 0);
         assert!(out.comm.extras.contains_key("tr_iterations"));
+        assert!(out.comm.extras.contains_key("poa_graph_nodes"));
+        assert!(out.comm.extras.contains_key("poa_aligned_bases"));
+        assert!(out.comm.extras.contains_key("consensus_length"));
     }
 
     #[test]
@@ -256,6 +379,75 @@ mod tests {
         // Its estimated length should be in the ballpark of the genome length.
         assert!(largest.estimated_length > ds.genome.len() / 3);
         assert!(largest.estimated_length < ds.genome.len() * 2);
+    }
+
+    #[test]
+    fn fastq_entry_point_filters_by_mean_quality() {
+        let ds = DatasetSpec::Tiny.generate(51);
+        // Build FASTQ text: high quality everywhere except every 5th read.
+        let mut fastq = String::new();
+        for (i, rec) in ds.reads.iter() {
+            let q = if i % 5 == 0 { '%' } else { 'I' }; // Q4 vs Q40
+            fastq.push_str(&format!(
+                "@{}\n{}\n+\n{}\n",
+                rec.name,
+                rec.seq.to_ascii(),
+                String::from(q).repeat(rec.seq.len())
+            ));
+        }
+        let mut cfg = tiny_config(4);
+        let unfiltered = run_dibella_2d_fastq(&fastq, &cfg).unwrap();
+        assert_eq!(unfiltered.dims.reads, ds.reads.len());
+        assert_eq!(unfiltered.comm.extras.get("fastq_dropped_low_quality"), Some(&0));
+        // The unfiltered FASTQ run must agree with the FASTA run bit for bit.
+        let comm = CommStats::new();
+        let from_fasta = run_dibella_2d_on_reads(&ds.reads, &cfg, &comm);
+        assert_eq!(
+            unfiltered.string_matrix.to_local_csr(),
+            from_fasta.string_matrix.to_local_csr()
+        );
+
+        cfg.min_mean_quality = 10.0;
+        let filtered = run_dibella_2d_fastq(&fastq, &cfg).unwrap();
+        let expected_dropped = ds.reads.len().div_ceil(5);
+        assert_eq!(filtered.dims.reads, ds.reads.len() - expected_dropped);
+        assert_eq!(
+            filtered.comm.extras.get("fastq_dropped_low_quality"),
+            Some(&(expected_dropped as u64))
+        );
+        assert!(filtered.timings.read_fastq > 0.0);
+    }
+
+    #[test]
+    fn pipeline_emits_consensus_sequences_for_every_contig() {
+        let ds = DatasetSpec::Tiny.generate(50);
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
+        assert_eq!(out.contigs.len(), out.consensus.len(), "one consensus per layout");
+        assert!(!out.contigs.is_empty());
+        assert_eq!(out.consensus_summary.contigs, out.contigs.len());
+        assert!(out.consensus_summary.multi_read_contigs >= 1);
+        assert!(out.consensus_summary.consensus_bases > 0);
+        assert!(out.consensus_summary.poa_nodes >= out.consensus_summary.consensus_bases);
+        assert!(out.consensus_summary.n50 > 0);
+        // The largest consensus should be in the ballpark of *its own*
+        // layout's estimated length (the layout estimate counts genome
+        // bases, the consensus counts polished bases).
+        let (contig, cons) = out
+            .contigs
+            .iter()
+            .zip(&out.consensus)
+            .max_by_key(|(_, c)| c.consensus.len())
+            .unwrap();
+        let largest = cons.consensus.len();
+        let estimated = contig.estimated_length;
+        assert!(
+            largest * 2 > estimated && largest < estimated * 2,
+            "consensus length {largest} vs layout estimate {estimated}"
+        );
+        // Every read is threaded into exactly one POA graph.
+        let threaded: usize = out.consensus.iter().map(|c| c.reads).sum();
+        assert_eq!(threaded, ds.reads.len());
     }
 
     #[test]

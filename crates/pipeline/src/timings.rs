@@ -25,6 +25,9 @@ pub struct StageTimings {
     pub alignment: f64,
     /// Transitive reduction (`TrReduction`).
     pub tr_reduction: f64,
+    /// Contig extraction plus POA consensus (`Consensus`) — the stage this
+    /// reproduction adds beyond the paper's pipeline to close the OLC loop.
+    pub consensus: f64,
 }
 
 impl StageTimings {
@@ -37,6 +40,7 @@ impl StageTimings {
             + self.exchange_read
             + self.alignment
             + self.tr_reduction
+            + self.consensus
     }
 
     /// Total runtime excluding alignment (the right-hand plots of Figs. 5–8).
@@ -50,8 +54,9 @@ impl StageTimings {
         self.total() - self.tr_reduction
     }
 
-    /// The stage labels in the order the paper's figures stack them.
-    pub const LABELS: [&'static str; 7] = [
+    /// The stage labels in the order the paper's figures stack them (the
+    /// post-paper `Consensus` stage appended last).
+    pub const LABELS: [&'static str; 8] = [
         "Alignment",
         "ReadFastq",
         "CountKmer",
@@ -59,10 +64,11 @@ impl StageTimings {
         "SpGEMM",
         "ExchangeRead",
         "TrReduction",
+        "Consensus",
     ];
 
     /// The stage values in the same order as [`StageTimings::LABELS`].
-    pub fn values(&self) -> [f64; 7] {
+    pub fn values(&self) -> [f64; 8] {
         [
             self.alignment,
             self.read_fastq,
@@ -71,6 +77,7 @@ impl StageTimings {
             self.spgemm,
             self.exchange_read,
             self.tr_reduction,
+            self.consensus,
         ]
     }
 
@@ -105,15 +112,16 @@ mod tests {
             exchange_read: 0.25,
             alignment: 10.0,
             tr_reduction: 1.25,
+            consensus: 2.0,
         }
     }
 
     #[test]
     fn totals_add_up() {
         let t = sample();
-        assert!((t.total() - 19.0).abs() < 1e-12);
-        assert!((t.total_without_alignment() - 9.0).abs() < 1e-12);
-        assert!((t.total_without_tr() - 17.75).abs() < 1e-12);
+        assert!((t.total() - 21.0).abs() < 1e-12);
+        assert!((t.total_without_alignment() - 11.0).abs() < 1e-12);
+        assert!((t.total_without_tr() - 19.75).abs() < 1e-12);
     }
 
     #[test]
@@ -123,6 +131,7 @@ mod tests {
         assert_eq!(StageTimings::LABELS.len(), values.len());
         assert_eq!(values[0], 10.0); // Alignment first, as in the figure legends.
         assert_eq!(values[6], 1.25);
+        assert_eq!(values[7], 2.0); // Consensus last (post-paper stage).
         assert!((values.iter().sum::<f64>() - t.total()).abs() < 1e-12);
     }
 

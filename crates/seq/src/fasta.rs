@@ -1,9 +1,15 @@
-//! FASTA input/output and the read-set container.
+//! FASTA/FASTQ input/output and the read-set container.
 //!
 //! The pipeline's input is a FASTA file of long reads (Section IV-B).  The
 //! real system reads an equal-sized chunk per MPI rank with parallel I/O; in
 //! this reproduction a [`ReadSet`] is parsed once and then block-partitioned
 //! over the virtual ranks, with the parse itself parallelised over records.
+//!
+//! Sequencers actually deliver **FASTQ** (sequence plus per-base Phred
+//! qualities); [`parse_fastq`] accepts the classic four-line record format
+//! and [`parse_fastq_filtered`] additionally drops reads below a mean-quality
+//! threshold — the quality-aware filtering `PipelineConfig::min_mean_quality`
+//! wires into the pipeline entry points.
 
 use crate::dna::DnaSeq;
 use rayon::prelude::*;
@@ -171,6 +177,134 @@ pub fn write_fasta_file(reads: &ReadSet, path: impl AsRef<Path>) -> Result<(), S
         .map_err(|e| format!("writing {}: {e}", path.as_ref().display()))
 }
 
+/// The Phred+33 offset of FASTQ quality characters.
+const PHRED_OFFSET: u8 = 33;
+
+/// Statistics of one quality-filtered FASTQ parse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FastqFilterStats {
+    /// Records in the input.
+    pub total_reads: usize,
+    /// Records kept after the mean-quality filter.
+    pub kept_reads: usize,
+    /// Records dropped for a mean quality below the threshold.
+    pub dropped_low_quality: usize,
+}
+
+/// Parse four-line FASTQ text into a [`ReadSet`] plus each read's mean Phred
+/// quality (in the same order).
+///
+/// The classic record format is enforced strictly: a `@name` header, one
+/// sequence line, a `+` separator (bare or repeating the name), and one
+/// quality line of exactly the sequence's length in printable Phred+33
+/// characters.  Multi-line sequences are rejected — every modern long-read
+/// FASTQ writer emits four-line records — as are the malformed shapes the
+/// unit tests pin down (missing separator, truncated qualities, bases
+/// outside `{A, C, G, T}`).
+pub fn parse_fastq(text: &str) -> Result<(ReadSet, Vec<f64>), String> {
+    let parsed = parse_fastq_records(text)?;
+    let mut qualities = Vec::with_capacity(parsed.len());
+    let mut reads = ReadSet::new();
+    for (record, q) in parsed {
+        reads.push(record);
+        qualities.push(q);
+    }
+    Ok((reads, qualities))
+}
+
+fn parse_fastq_records(text: &str) -> Result<Vec<(ReadRecord, f64)>, String> {
+    let mut raw: Vec<(String, String, String)> = Vec::new();
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim_end().is_empty());
+    while let Some((lineno, header)) = lines.next() {
+        let header = header.trim_end();
+        let Some(rest) = header.strip_prefix('@') else {
+            return Err(format!("line {}: expected '@' header, found {header:?}", lineno + 1));
+        };
+        let name = rest.split_whitespace().next().unwrap_or("").to_string();
+        if name.is_empty() {
+            return Err(format!("line {}: record with empty name", lineno + 1));
+        }
+        let Some((_, seq)) = lines.next() else {
+            return Err(format!("record {name}: missing sequence line"));
+        };
+        let Some((sep_no, sep)) = lines.next() else {
+            return Err(format!("record {name}: missing '+' separator"));
+        };
+        let sep = sep.trim_end();
+        if !sep.starts_with('+') {
+            return Err(format!(
+                "line {}: record {name}: expected '+' separator, found {sep:?}",
+                sep_no + 1
+            ));
+        }
+        let Some((_, qual)) = lines.next() else {
+            return Err(format!("record {name}: missing quality line"));
+        };
+        raw.push((name, seq.trim_end().to_string(), qual.trim_end().to_string()));
+    }
+
+    let parsed: Result<Vec<(ReadRecord, f64)>, String> = raw
+        .into_par_iter()
+        .map(|(name, seq, qual)| {
+            let seq = DnaSeq::from_ascii(seq.as_bytes())
+                .map_err(|e| format!("record {name}: {e}"))?;
+            if qual.len() != seq.len() {
+                return Err(format!(
+                    "record {name}: quality length {} does not match sequence length {}",
+                    qual.len(),
+                    seq.len()
+                ));
+            }
+            let mut sum = 0u64;
+            for (i, &q) in qual.as_bytes().iter().enumerate() {
+                if q < PHRED_OFFSET || q > b'~' {
+                    return Err(format!(
+                        "record {name}: invalid quality character {:?} at position {i}",
+                        q as char
+                    ));
+                }
+                sum += (q - PHRED_OFFSET) as u64;
+            }
+            let mean_q = if seq.is_empty() { 0.0 } else { sum as f64 / seq.len() as f64 };
+            Ok((ReadRecord { name, seq }, mean_q))
+        })
+        .collect();
+    parsed
+}
+
+/// Parse FASTQ text and drop reads whose mean Phred quality is below
+/// `min_mean_quality` (a threshold of 0.0 keeps everything).
+pub fn parse_fastq_filtered(
+    text: &str,
+    min_mean_quality: f64,
+) -> Result<(ReadSet, FastqFilterStats), String> {
+    let parsed = parse_fastq_records(text)?;
+    let total_reads = parsed.len();
+    // Filter by value: kept records move straight into the read set, so the
+    // common keep-almost-everything case never copies a sequence buffer.
+    let kept: Vec<ReadRecord> = parsed
+        .into_iter()
+        .filter(|(_, q)| *q >= min_mean_quality)
+        .map(|(r, _)| r)
+        .collect();
+    let stats = FastqFilterStats {
+        total_reads,
+        kept_reads: kept.len(),
+        dropped_low_quality: total_reads - kept.len(),
+    };
+    Ok((ReadSet::from_records(kept), stats))
+}
+
+/// Parse a FASTQ file from disk, applying the mean-quality filter.
+pub fn parse_fastq_file(
+    path: impl AsRef<Path>,
+    min_mean_quality: f64,
+) -> Result<(ReadSet, FastqFilterStats), String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+    parse_fastq_filtered(&text, min_mean_quality)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +370,87 @@ mod tests {
         let reads = parse_fasta(SAMPLE).unwrap();
         assert_eq!(reads.total_bases(), 8 + 4 + 1);
         assert!((reads.mean_read_length() - 13.0 / 3.0).abs() < 1e-9);
+    }
+
+    const FASTQ: &str = "@read1 instrument=x\nACGT\n+\nII5I\n@read2\nTTTTT\n+read2\n!!!!!\n";
+
+    #[test]
+    fn parse_fastq_records_and_mean_qualities() {
+        let (reads, quals) = parse_fastq(FASTQ).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads.name(0), "read1");
+        assert_eq!(reads.seq(0).to_ascii(), "ACGT");
+        assert_eq!(reads.seq(1).to_ascii(), "TTTTT");
+        // 'I' = Q40, '5' = Q20: mean (40*3 + 20) / 4 = 35; '!' = Q0.
+        assert!((quals[0] - 35.0).abs() < 1e-9);
+        assert_eq!(quals[1], 0.0);
+    }
+
+    #[test]
+    fn fastq_mean_quality_filter_drops_low_quality_reads() {
+        let (reads, stats) = parse_fastq_filtered(FASTQ, 10.0).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads.name(0), "read1");
+        assert_eq!(
+            stats,
+            FastqFilterStats { total_reads: 2, kept_reads: 1, dropped_low_quality: 1 }
+        );
+        // Threshold 0 keeps everything.
+        let (all, stats0) = parse_fastq_filtered(FASTQ, 0.0).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(stats0.dropped_low_quality, 0);
+    }
+
+    #[test]
+    fn fastq_missing_separator_is_rejected() {
+        let err = parse_fastq("@x\nACGT\nIIII\n").unwrap_err();
+        assert!(err.contains("separator"), "{err}");
+    }
+
+    #[test]
+    fn fastq_quality_length_mismatch_is_rejected() {
+        let err = parse_fastq("@x\nACGT\n+\nII\n").unwrap_err();
+        assert!(err.contains("quality length"), "{err}");
+    }
+
+    #[test]
+    fn fastq_truncated_records_are_rejected() {
+        assert!(parse_fastq("@x\nACGT\n+\n").unwrap_err().contains("missing quality"));
+        assert!(parse_fastq("@x\nACGT\n").unwrap_err().contains("missing '+'"));
+        assert!(parse_fastq("@x\n").unwrap_err().contains("missing sequence"));
+    }
+
+    #[test]
+    fn fastq_bad_header_name_and_bases_are_rejected() {
+        assert!(parse_fastq("ACGT\n+\nIIII\n").unwrap_err().contains("expected '@'"));
+        assert!(parse_fastq("@\nACGT\n+\nIIII\n").unwrap_err().contains("empty name"));
+        let err = parse_fastq("@x\nACGN\n+\nIIII\n").unwrap_err();
+        assert!(err.contains('x'), "error should name the record: {err}");
+    }
+
+    #[test]
+    fn fastq_non_printable_quality_characters_are_rejected() {
+        let err = parse_fastq("@x\nACGT\n+\nII\u{7f}I\n").unwrap_err();
+        assert!(err.contains("invalid quality"), "{err}");
+    }
+
+    #[test]
+    fn fastq_empty_input_and_empty_records() {
+        let (reads, quals) = parse_fastq("").unwrap();
+        assert!(reads.is_empty());
+        assert!(quals.is_empty());
+    }
+
+    #[test]
+    fn fastq_file_roundtrip_through_filter() {
+        let dir = std::env::temp_dir().join("dibella_seq_fastq_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.fq");
+        std::fs::write(&path, FASTQ).unwrap();
+        let (reads, stats) = parse_fastq_file(&path, 10.0).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(stats.total_reads, 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod simulate;
 
 pub use bloom::BloomFilter;
 pub use dna::{complement_code, DnaSeq, Strand};
-pub use fasta::{parse_fasta, parse_fasta_file, write_fasta, write_fasta_file, ReadRecord, ReadSet};
+pub use fasta::{
+    parse_fasta, parse_fasta_file, parse_fastq, parse_fastq_file, parse_fastq_filtered,
+    write_fasta, write_fasta_file, FastqFilterStats, ReadRecord, ReadSet,
+};
 pub use kmer::{CanonicalKmer, Kmer, KmerIter};
 pub use kmer_counter::{count_kmers_distributed, count_kmers_serial, KmerSelection, KmerTable};
 pub use simulate::{DatasetSpec, ReadSimConfig, SimulatedDataset};

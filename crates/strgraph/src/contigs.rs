@@ -1,12 +1,13 @@
 //! Contig layout extraction from the string graph.
 //!
 //! The paper stops at the string graph ("This conversion makes it easier to
-//! cluster sections of the graph into contigs"); the consensus step of OLC is
-//! out of scope.  This module provides the natural hand-off: maximal
-//! unbranched, orientation-consistent walks of the string graph, each of which
-//! is the layout of one contig.  The examples and integration tests use it to
-//! show that an error-free tiling of a genome collapses to a single contig
-//! whose estimated length matches the genome.
+//! cluster sections of the graph into contigs").  This module provides the
+//! layout step: maximal unbranched, orientation-consistent walks of the
+//! string graph, each of which is the layout of one contig.  The
+//! [`consensus`](crate::consensus) module turns those layouts into sequence,
+//! closing the OLC loop.  The examples and integration tests use it to show
+//! that an error-free tiling of a genome collapses to a single contig whose
+//! estimated length matches the genome.
 
 use crate::bidirected::BidirectedGraph;
 use dibella_overlap::OverlapEdge;
@@ -147,6 +148,90 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    /// A circular tiling: every read overlaps the next and the last wraps to
+    /// the first (a plasmid / circular chromosome).
+    fn circular_overlap_graph(n: usize) -> CsrMatrix<OverlapEdge> {
+        let mut t = dibella_sparse::Triples::new(n, n);
+        let edge = |dir: u8| OverlapEdge {
+            dir,
+            suffix: TILING_STEP as u32,
+            score: 100,
+            overlap_len: (2 * TILING_STEP) as u32,
+        };
+        for i in 0..n {
+            let j = (i + 1) % n;
+            t.push(i, j, edge(0b11));
+            t.push(j, i, edge(0b00));
+        }
+        CsrMatrix::from_triples(&t)
+    }
+
+    #[test]
+    fn circular_layout_is_swept_into_one_contig() {
+        // Every vertex has degree 2, so no walk end exists: the cycle sweep
+        // must still pick the component up exactly once.
+        let n = 9;
+        let s = circular_overlap_graph(n);
+        let contigs = extract_contigs(&s, &vec![3 * TILING_STEP; n]);
+        assert_eq!(contigs.len(), 1, "a simple cycle is one contig: {contigs:?}");
+        assert_eq!(contigs[0].reads.len(), n);
+        // The walk linearises the circle: first read plus n-1 suffixes (the
+        // wrap-around edge is where the circle was cut).
+        assert_eq!(contigs[0].estimated_length, 3 * TILING_STEP + (n - 1) * TILING_STEP);
+        let mut seen = vec![false; n];
+        for &r in &contigs[0].reads {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+    }
+
+    #[test]
+    fn single_read_matrix_yields_one_singleton_contig() {
+        let s = CsrMatrix::<OverlapEdge>::zero(1, 1);
+        let contigs = extract_contigs(&s, &[741]);
+        assert_eq!(contigs.len(), 1);
+        assert_eq!(contigs[0].reads, vec![0]);
+        assert_eq!(contigs[0].estimated_length, 741);
+        assert_eq!(contigs[0].len(), 1);
+        assert!(!contigs[0].is_empty());
+    }
+
+    #[test]
+    fn dead_end_branch_splits_the_walk_at_the_branching_vertex() {
+        // A chain 0-1-2-3-4 with a dead-end spur 2-5: vertex 2 branches
+        // (degree 3) and must be emitted alone; the spur read and the two
+        // chain arms become their own contigs.
+        let mut t = chain_overlap_graph(5, 1);
+        let spur = OverlapEdge { dir: 0b11, suffix: 100, score: 50, overlap_len: 200 };
+        let mut entries = t.entries().to_vec();
+        entries.push((2, 5, spur));
+        entries.push((5, 2, OverlapEdge { dir: 0b00, ..spur }));
+        t = dibella_sparse::Triples::from_entries(6, 6, entries);
+        let s = CsrMatrix::from_triples(&t);
+        let contigs = extract_contigs(&s, &vec![600; 6]);
+
+        // Every read exactly once.
+        let mut seen = vec![false; 6];
+        for c in &contigs {
+            for &r in &c.reads {
+                assert!(!seen[r], "read {r} in two contigs: {contigs:?}");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // The branching vertex is a singleton, and no contig walks across it.
+        let of_2 = contigs.iter().find(|c| c.reads.contains(&2)).unwrap();
+        assert_eq!(of_2.reads, vec![2], "branching vertices are unresolved singletons");
+        let of_5 = contigs.iter().find(|c| c.reads.contains(&5)).unwrap();
+        assert_eq!(of_5.reads, vec![5], "the dead-end spur cannot chain through the branch");
+        for c in &contigs {
+            assert!(
+                c.reads.len() <= 2,
+                "no walk may cross the degree-3 vertex: {contigs:?}"
+            );
+        }
     }
 
     #[test]

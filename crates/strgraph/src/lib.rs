@@ -16,16 +16,22 @@
 //! * [`bidirected`] — a graph-level view of the overlap/string matrices:
 //!   valid bidirected walks (Figure 2), degree statistics, edge queries.
 //! * [`contigs`] — extraction of unbranched paths (contig layouts) from the
-//!   string graph, the hand-off point to the consensus step the paper leaves
-//!   to downstream tools.
+//!   string graph.
+//! * [`consensus`] — banded partial-order-alignment (POA) consensus over each
+//!   contig layout, closing the OLC loop the paper leaves to downstream
+//!   tools: layouts become sequence.
+//! * [`metrics`] — assembly-quality metrics over the consensus output
+//!   (N50/NG50, identity against a known reference, misjoin counts).
 //! * [`fixtures`] — hand-built and genome-tiling overlap graphs used by the
 //!   tests, benches and examples.
 
 #![warn(missing_docs)]
 
 pub mod bidirected;
+pub mod consensus;
 pub mod contigs;
 pub mod fixtures;
+pub mod metrics;
 pub mod matrix_ops;
 pub mod myers;
 pub mod sora;
@@ -33,7 +39,12 @@ pub mod transitive;
 pub mod trsemiring;
 
 pub use bidirected::BidirectedGraph;
+pub use consensus::{
+    banded_identity, consensus_contig, consensus_contigs, ConsensusConfig, ContigConsensus,
+    PoaGraph,
+};
 pub use contigs::{extract_contigs, Contig};
+pub use metrics::{evaluate_assembly, n50, ng50, AssemblyMetrics, ContigQuality};
 pub use myers::myers_transitive_reduction;
 pub use sora::{sora_transitive_reduction, SoraStats};
 pub use transitive::{transitive_reduction, TransitiveReductionConfig, TrOutcome};

@@ -1,0 +1,338 @@
+//! Assembly-quality metrics: contiguity, consensus accuracy, misjoins.
+//!
+//! Once the consensus stage emits sequence (closing the OLC loop), the usual
+//! assembly-evaluation vocabulary applies.  This module computes it:
+//!
+//! * **contiguity** — N50 (half the *assembled* bases live in contigs at
+//!   least this long) and NG50 (half the *genome* does), total assembled
+//!   bases, largest contig;
+//! * **accuracy** — per-contig percent identity of the consensus against the
+//!   region of the reference its reads came from (available whenever the
+//!   simulator's ground-truth [`ReadOrigin`]s are known), reported per
+//!   contig and as a length-weighted mean;
+//! * **structural correctness** — misjoin count: adjacent reads in a layout
+//!   whose genomic intervals do not actually overlap.
+//!
+//! The `assembly_quality` harness in `dibella-bench` serialises an
+//! [`AssemblyMetrics`] to `BENCH_assembly.json`; the golden end-to-end test
+//! asserts NG50 and identity thresholds on a known 20 kbp reference.
+
+use crate::consensus::{banded_identity, ConsensusConfig, ContigConsensus};
+use crate::contigs::Contig;
+use dibella_seq::simulate::ReadOrigin;
+use dibella_seq::DnaSeq;
+use serde::{Deserialize, Serialize};
+
+/// N50 of a set of contig lengths: the largest length `L` such that contigs
+/// of length ≥ `L` together cover at least half the assembled bases.
+pub fn n50(lengths: &[usize]) -> usize {
+    nx50(lengths, lengths.iter().sum())
+}
+
+/// NG50: like [`n50`], but against half the *genome* length, so a fragmented
+/// or incomplete assembly cannot inflate the statistic.  Returns 0 when the
+/// assembly covers less than half the genome.
+pub fn ng50(lengths: &[usize], genome_length: usize) -> usize {
+    nx50(lengths, genome_length)
+}
+
+fn nx50(lengths: &[usize], denominator_bases: usize) -> usize {
+    if denominator_bases == 0 {
+        return 0;
+    }
+    let mut sorted: Vec<usize> = lengths.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let half = denominator_bases.div_ceil(2);
+    let mut cum = 0usize;
+    for len in sorted {
+        cum += len;
+        if cum >= half {
+            return len;
+        }
+    }
+    0
+}
+
+/// Quality of one contig's consensus against the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContigQuality {
+    /// Number of reads in the layout.
+    pub reads: usize,
+    /// Consensus length in bases.
+    pub length: usize,
+    /// Start of the genomic region the contig's reads were sampled from.
+    pub ref_start: usize,
+    /// End (exclusive) of that region.
+    pub ref_end: usize,
+    /// Percent identity (0..=1) of the consensus against that region, taking
+    /// the better of the two strands.
+    pub identity: f64,
+    /// Adjacent layout reads whose genomic intervals do not overlap.
+    pub misjoins: usize,
+}
+
+/// Aggregate assembly-quality metrics for one run.
+///
+/// The headline statistics (`assembled_bases`, `largest_contig`, `n50`,
+/// `ng50`, the identities) are computed over **multi-read** contigs: a
+/// singleton layout is a contained or isolated read the layout stage set
+/// aside, and a real assembler would not emit it as a contig (counting them
+/// would double-cover the genome).  When *no* layout chains two reads, the
+/// headline falls back to all contigs so a degenerate run still reports
+/// something.  `per_contig` always covers everything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssemblyMetrics {
+    /// Number of contigs (consensus sequences), singletons included.
+    pub contigs: usize,
+    /// Contigs whose layout has at least two reads.
+    pub multi_read_contigs: usize,
+    /// Total consensus bases of the scored (multi-read) contigs.
+    pub assembled_bases: usize,
+    /// Largest scored consensus length.
+    pub largest_contig: usize,
+    /// N50 over scored consensus lengths.
+    pub n50: usize,
+    /// NG50 over scored consensus lengths against the reference length.
+    pub ng50: usize,
+    /// Reference (genome) length the NG50 is computed against.
+    pub genome_length: usize,
+    /// Length-weighted mean identity of scored contigs vs the reference.
+    pub mean_identity: f64,
+    /// Identity of the largest scored contig vs the reference.
+    pub largest_identity: f64,
+    /// Total misjoins across all contigs.
+    pub misjoins: usize,
+    /// Per-contig detail for every contig, in the contig order given.
+    pub per_contig: Vec<ContigQuality>,
+}
+
+/// Evaluate an assembly against the simulator's ground truth.
+///
+/// `contigs` and `consensi` must be parallel (one consensus per layout);
+/// `origins` is indexed by read id, `genome` is the reference the reads were
+/// sampled from.
+pub fn evaluate_assembly(
+    contigs: &[Contig],
+    consensi: &[ContigConsensus],
+    origins: &[ReadOrigin],
+    genome: &DnaSeq,
+    config: &ConsensusConfig,
+) -> AssemblyMetrics {
+    assert_eq!(contigs.len(), consensi.len(), "one consensus per contig required");
+    let mut per_contig = Vec::with_capacity(contigs.len());
+    for (contig, cons) in contigs.iter().zip(consensi) {
+        per_contig.push(contig_quality(contig, cons, origins, genome, config));
+    }
+
+    let multi_read_contigs = per_contig.iter().filter(|q| q.reads > 1).count();
+    // Score multi-read contigs; fall back to everything if nothing chained.
+    let scored: Vec<&ContigQuality> = if multi_read_contigs > 0 {
+        per_contig.iter().filter(|q| q.reads > 1).collect()
+    } else {
+        per_contig.iter().collect()
+    };
+    let lengths: Vec<usize> = scored.iter().map(|q| q.length).collect();
+    let assembled_bases: usize = lengths.iter().sum();
+    let mean_identity = if assembled_bases > 0 {
+        scored.iter().map(|q| q.identity * q.length as f64).sum::<f64>() / assembled_bases as f64
+    } else {
+        0.0
+    };
+    let largest_identity = scored
+        .iter()
+        .max_by_key(|q| q.length)
+        .map_or(0.0, |q| q.identity);
+
+    AssemblyMetrics {
+        contigs: contigs.len(),
+        multi_read_contigs,
+        assembled_bases,
+        largest_contig: lengths.iter().copied().max().unwrap_or(0),
+        n50: n50(&lengths),
+        ng50: ng50(&lengths, genome.len()),
+        genome_length: genome.len(),
+        mean_identity,
+        largest_identity,
+        misjoins: per_contig.iter().map(|q| q.misjoins).sum(),
+        per_contig,
+    }
+}
+
+fn contig_quality(
+    contig: &Contig,
+    cons: &ContigConsensus,
+    origins: &[ReadOrigin],
+    genome: &DnaSeq,
+    config: &ConsensusConfig,
+) -> ContigQuality {
+    let ref_start = contig.reads.iter().map(|&r| origins[r].start).min().unwrap_or(0);
+    let ref_end = contig.reads.iter().map(|&r| origins[r].end()).max().unwrap_or(0);
+    let region = genome.slice(ref_start, ref_end);
+
+    // The layout's orientation relative to the reference is arbitrary, so
+    // score both strands and keep the better.
+    let fwd = banded_identity(&cons.consensus, &region, config);
+    let rev = banded_identity(&cons.consensus.reverse_complement(), &region, config);
+    let identity = fwd.max(rev);
+
+    let misjoins = contig
+        .reads
+        .windows(2)
+        .filter(|pair| origins[pair[0]].overlap_with(&origins[pair[1]]) == 0)
+        .count();
+
+    ContigQuality {
+        reads: contig.reads.len(),
+        length: cons.consensus.len(),
+        ref_start,
+        ref_end,
+        identity,
+        misjoins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_seq::Strand;
+
+    fn origin(start: usize, span: usize) -> ReadOrigin {
+        ReadOrigin { start, span, strand: Strand::Forward }
+    }
+
+    #[test]
+    fn n50_matches_the_textbook_definition() {
+        // Lengths 80, 70, 50, 40, 30, 20: total 290, half 145; 80+70 = 150 >= 145.
+        assert_eq!(n50(&[50, 80, 20, 30, 70, 40]), 70);
+        assert_eq!(n50(&[100]), 100);
+        assert_eq!(n50(&[]), 0);
+        // All equal lengths: N50 is that length.
+        assert_eq!(n50(&[25, 25, 25, 25]), 25);
+    }
+
+    #[test]
+    fn ng50_uses_the_genome_length_as_denominator() {
+        // Assembly of 150 bases over a 400-base genome: cumulative 80+70 = 150
+        // never reaches 200, so NG50 is 0 (assembly too incomplete).
+        assert_eq!(ng50(&[80, 70], 400), 0);
+        // Over a 200-base genome, the cumulative sum crosses 100 at the
+        // second contig: NG50 = 70.
+        assert_eq!(ng50(&[80, 70], 200), 70);
+        // A perfect single-contig assembly: NG50 = genome length.
+        assert_eq!(ng50(&[400], 400), 400);
+        assert_eq!(ng50(&[10, 10], 0), 0);
+    }
+
+    #[test]
+    fn misjoined_layouts_are_counted() {
+        let genome = DnaSeq::from_codes(vec![0; 1_000]);
+        let origins = vec![origin(0, 300), origin(200, 300), origin(700, 300)];
+        // Reads 0-1 overlap on the genome; 1-2 do not: one misjoin.
+        let contig = Contig { reads: vec![0, 1, 2], estimated_length: 900 };
+        let cons = ContigConsensus {
+            consensus: genome.slice(0, 900),
+            reads: 3,
+            poa_nodes: 900,
+            aligned_bases: 900,
+        };
+        let metrics = evaluate_assembly(
+            &[contig],
+            &[cons],
+            &origins,
+            &genome,
+            &ConsensusConfig::default(),
+        );
+        assert_eq!(metrics.misjoins, 1);
+        assert_eq!(metrics.per_contig[0].ref_start, 0);
+        assert_eq!(metrics.per_contig[0].ref_end, 1_000);
+    }
+
+    #[test]
+    fn perfect_single_contig_assembly_scores_full_identity() {
+        let genome: DnaSeq = "ACGTTGCAACGTACGTTGCAACGGACGTTGCAACGTAAGTC"
+            .parse()
+            .unwrap();
+        let origins = vec![origin(0, genome.len())];
+        let contig = Contig { reads: vec![0], estimated_length: genome.len() };
+        let cons = ContigConsensus {
+            consensus: genome.clone(),
+            reads: 1,
+            poa_nodes: genome.len(),
+            aligned_bases: genome.len(),
+        };
+        let m = evaluate_assembly(
+            &[contig],
+            &[cons],
+            &origins,
+            &genome,
+            &ConsensusConfig::default(),
+        );
+        assert_eq!(m.contigs, 1);
+        assert_eq!(m.multi_read_contigs, 0);
+        assert_eq!(m.assembled_bases, genome.len());
+        assert_eq!(m.n50, genome.len());
+        assert_eq!(m.ng50, genome.len());
+        assert!((m.largest_identity - 1.0).abs() < 1e-12);
+        assert_eq!(m.misjoins, 0);
+    }
+
+    #[test]
+    fn reverse_oriented_contigs_still_match_the_reference() {
+        let mut codes = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            codes.push(((state >> 33) % 4) as u8);
+        }
+        let genome = DnaSeq::from_codes(codes);
+        let origins = vec![origin(100, 400)];
+        let contig = Contig { reads: vec![0], estimated_length: 400 };
+        // The consensus came out reverse-complemented relative to the genome.
+        let cons = ContigConsensus {
+            consensus: genome.slice(100, 500).reverse_complement(),
+            reads: 1,
+            poa_nodes: 400,
+            aligned_bases: 400,
+        };
+        let m = evaluate_assembly(
+            &[contig],
+            &[cons],
+            &origins,
+            &genome,
+            &ConsensusConfig::default(),
+        );
+        assert!(m.per_contig[0].identity > 0.99, "identity {}", m.per_contig[0].identity);
+    }
+
+    #[test]
+    fn mean_identity_is_length_weighted_over_multi_read_contigs() {
+        let genome = DnaSeq::from_codes((0..400).map(|i| (i % 4) as u8).collect());
+        let origins = vec![origin(0, 200), origin(100, 200), origin(200, 100)];
+        let good = ContigConsensus {
+            consensus: genome.slice(0, 300),
+            reads: 2,
+            poa_nodes: 300,
+            aligned_bases: 400,
+        };
+        // A singleton contig with garbage consensus must not drag the mean.
+        let noise = ContigConsensus {
+            consensus: DnaSeq::from_codes(vec![0; 100]),
+            reads: 1,
+            poa_nodes: 100,
+            aligned_bases: 100,
+        };
+        let contigs = vec![
+            Contig { reads: vec![0, 1], estimated_length: 300 },
+            Contig { reads: vec![2], estimated_length: 100 },
+        ];
+        let m = evaluate_assembly(
+            &contigs,
+            &[good, noise],
+            &origins,
+            &genome,
+            &ConsensusConfig::default(),
+        );
+        assert_eq!(m.multi_read_contigs, 1);
+        assert!(m.mean_identity > 0.99, "mean identity {}", m.mean_identity);
+    }
+}

@@ -1,10 +1,12 @@
-//! Assemble a FASTA file of long reads into string-graph contig layouts.
+//! Assemble a FASTA file of long reads end to end: string-graph contig
+//! layouts **and** their POA consensus sequences, written as FASTA.
 //!
 //! This is the "real input" entry point: point it at a FASTA file of long
-//! reads (PacBio CLR-like) and it runs the full diBELLA 2D pipeline and writes
-//! the contig layouts and per-stage report.  Without an argument it first
-//! simulates a dataset, writes it to a temporary FASTA file, and assembles
-//! that — so the example is runnable out of the box.
+//! reads (PacBio CLR-like) and it runs the full diBELLA 2D pipeline
+//! (overlap → layout → consensus) and writes the contig layout report plus a
+//! consensus FASTA next to the input.  Without an argument it first simulates
+//! a dataset, writes it to a temporary FASTA file, and assembles that — so
+//! the example is runnable out of the box.
 //!
 //! ```bash
 //! cargo run --release --example assemble_fasta -- reads.fa [virtual-ranks]
@@ -73,12 +75,10 @@ fn main() {
         out.tr_summary.iterations
     );
 
-    // Contig layouts.
-    let lengths: Vec<usize> = (0..reads.len()).map(|i| reads.seq(i).len()).collect();
-    let contigs = extract_contigs(&out.string_matrix.to_local_csr(), &lengths);
+    // Contig layouts (already extracted by the pipeline's consensus stage).
     let out_path = path.with_extension("contigs.txt");
     let mut report = String::new();
-    for (i, contig) in contigs.iter().enumerate().filter(|(_, c)| c.reads.len() > 1) {
+    for (i, contig) in out.contigs.iter().enumerate().filter(|(_, c)| c.reads.len() > 1) {
         report.push_str(&format!(
             "contig_{i}\t{} reads\t~{} bp\t{}\n",
             contig.reads.len(),
@@ -92,11 +92,30 @@ fn main() {
         ));
     }
     std::fs::write(&out_path, &report).expect("writing contig report");
-    let multi: Vec<usize> = contigs.iter().map(|c| c.reads.len()).filter(|&l| l > 1).collect();
+    let multi: Vec<usize> = out.contigs.iter().map(|c| c.reads.len()).filter(|&l| l > 1).collect();
     println!(
         "\nwrote {} multi-read contig layouts to {} (largest spans {} reads)",
         multi.len(),
         out_path.display(),
         multi.iter().max().copied().unwrap_or(0)
+    );
+
+    // Consensus FASTA: one polished sequence per multi-read contig.
+    let mut consensus_reads = dibella2d::seq::ReadSet::new();
+    for (i, (contig, cons)) in out.contigs.iter().zip(&out.consensus).enumerate() {
+        if contig.reads.len() > 1 {
+            consensus_reads.push(dibella2d::seq::ReadRecord {
+                name: format!("contig_{i}_reads_{}_len_{}", contig.reads.len(), cons.consensus.len()),
+                seq: cons.consensus.clone(),
+            });
+        }
+    }
+    let fasta_path = path.with_extension("consensus.fa");
+    std::fs::write(&fasta_path, write_fasta(&consensus_reads)).expect("writing consensus FASTA");
+    println!(
+        "wrote {} consensus sequences ({} bp) to {}",
+        consensus_reads.len(),
+        consensus_reads.total_bases(),
+        fasta_path.display()
     );
 }

@@ -1,5 +1,6 @@
 //! Quickstart: simulate a small long-read dataset, run the diBELLA 2D
-//! pipeline, and inspect the resulting string graph and contig layouts.
+//! pipeline, and inspect the resulting string graph, contig layouts and
+//! consensus sequences.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -26,8 +27,9 @@ fn main() {
     //    read length; `nprocs` is the number of virtual MPI ranks.
     let config = PipelineConfig::for_benchmark(17, dataset.config.error_rate, 16);
 
-    // 3. Run Algorithm 1: k-mer counting, C = A·Aᵀ, alignment, pruning, and
-    //    the transitive reduction of Algorithm 2.
+    // 3. Run Algorithm 1 plus the consensus stage: k-mer counting, C = A·Aᵀ,
+    //    alignment, pruning, the transitive reduction of Algorithm 2, contig
+    //    layout and POA consensus.
     let comm = CommStats::new();
     let out = run_dibella_2d_on_reads(&dataset.reads, &config, &comm);
 
@@ -56,20 +58,30 @@ fn main() {
         );
     }
 
-    // 4. Extract contig layouts from the string graph (the hand-off to the
-    //    consensus step of OLC).
-    let lengths: Vec<usize> = (0..dataset.reads.len()).map(|i| dataset.reads.seq(i).len()).collect();
-    let contigs = extract_contigs(&out.string_matrix.to_local_csr(), &lengths);
-    let multi_read = contigs.iter().filter(|c| c.reads.len() > 1).count();
-    println!("\n== contigs ==");
-    println!("contig layouts:             {}", contigs.len());
-    println!("multi-read contigs:         {multi_read}");
-    if let Some(largest) = contigs.first() {
+    // 4. The pipeline already extracted the contig layouts and polished one
+    //    POA consensus per layout — the full OLC loop.
+    println!("\n== contigs & consensus ==");
+    println!("contig layouts:             {}", out.contigs.len());
+    println!("multi-read contigs:         {}", out.consensus_summary.multi_read_contigs);
+    println!("POA graph nodes:            {}", out.consensus_summary.poa_nodes);
+    if let Some((largest, cons)) = out.contigs.iter().zip(&out.consensus).next() {
         println!(
-            "largest contig:             {} reads, ~{} bp (genome is {} bp)",
+            "largest contig:             {} reads, {} bp consensus (genome is {} bp)",
             largest.reads.len(),
-            largest.estimated_length,
+            cons.consensus.len(),
             dataset.genome.len()
         );
     }
+
+    // 5. Score the assembly against the simulator's known reference.
+    let metrics = evaluate_assembly(
+        &out.contigs,
+        &out.consensus,
+        &dataset.origins,
+        &dataset.genome,
+        &config.consensus,
+    );
+    println!("NG50:                       {} bp", metrics.ng50);
+    println!("consensus identity:         {:.2}%", metrics.mean_identity * 100.0);
+    println!("misjoins:                   {}", metrics.misjoins);
 }

@@ -13,7 +13,8 @@
 //! * [`align`] — x-drop seed-and-extend alignment and overlap classification;
 //! * [`overlap`] — overlap detection as distributed SpGEMM plus baselines;
 //! * [`strgraph`] — transitive reduction (Algorithm 2), Myers/SORA baselines,
-//!   string-graph utilities and contig extraction;
+//!   string-graph utilities, contig extraction, POA consensus and
+//!   assembly-quality metrics;
 //! * [`pipeline`] — the end-to-end diBELLA 2D and 1D pipelines with stage
 //!   timings and the Table I communication model.
 //!
@@ -34,19 +35,23 @@
 //! // Simulate a tiny long-read dataset (substitute for PacBio CLR input).
 //! let dataset = DatasetSpec::Tiny.generate(1);
 //!
-//! // Run the diBELLA 2D pipeline on 4 virtual ranks.
+//! // Run the diBELLA 2D pipeline on 4 virtual ranks: overlap detection,
+//! // string-graph construction, contig layout and POA consensus.
 //! let config = PipelineConfig::for_small_reads(13, 4);
 //! let comm = CommStats::new();
 //! let out = run_dibella_2d_on_reads(&dataset.reads, &config, &comm);
 //!
 //! assert!(out.string_matrix.nnz() > 0);
 //! assert!(out.string_matrix.nnz() <= out.overlap_matrix.nnz());
+//! assert_eq!(out.contigs.len(), out.consensus.len());
+//! assert!(out.consensus_summary.consensus_bases > 0);
 //! println!(
-//!     "{} reads -> {} overlaps -> {} string-graph edges in {} TR rounds",
+//!     "{} reads -> {} overlaps -> {} string-graph edges -> {} contigs ({} bp consensus)",
 //!     dataset.reads.len(),
 //!     out.overlap_matrix.nnz() / 2,
 //!     out.string_matrix.nnz() / 2,
-//!     out.tr_summary.iterations,
+//!     out.consensus_summary.multi_read_contigs,
+//!     out.consensus_summary.consensus_bases,
 //! );
 //! ```
 
@@ -69,17 +74,19 @@ pub mod prelude {
         OverlapEdge,
     };
     pub use dibella_pipeline::{
-        run_dibella_1d, run_dibella_2d, run_dibella_2d_on_reads, CommModel, ModelParams,
-        PipelineConfig, StageTimings,
+        run_dibella_1d, run_dibella_2d, run_dibella_2d_fastq, run_dibella_2d_on_reads,
+        CommModel, ModelParams, PipelineConfig, StageTimings,
     };
     pub use dibella_seq::{
-        parse_fasta, parse_fasta_file, write_fasta, DatasetSpec, DnaSeq, Kmer, KmerSelection,
-        ReadSet, Strand,
+        parse_fasta, parse_fasta_file, parse_fastq, parse_fastq_file, parse_fastq_filtered,
+        write_fasta, DatasetSpec, DnaSeq, Kmer, KmerSelection, ReadSet, Strand,
     };
     pub use dibella_sparse::{CsrMatrix, DistMat2D, Semiring, Triples};
     pub use dibella_strgraph::{
+        banded_identity, consensus_contig, consensus_contigs, evaluate_assembly,
         extract_contigs, myers_transitive_reduction, sora_transitive_reduction,
-        transitive_reduction, BidirectedGraph, TransitiveReductionConfig,
+        transitive_reduction, AssemblyMetrics, BidirectedGraph, ConsensusConfig,
+        TransitiveReductionConfig,
     };
 }
 
