@@ -7,6 +7,9 @@
 //! `DatasetSpec::Small` overlap workload (`C = A·Aᵀ` over the shared-k-mer
 //! semiring) and on a uniform random `PlusTimes` product, recording the
 //! speedups, the useful-flop rate, accumulator probes and peak row width.
+//! The `sym_2d_*` fields compare the symmetric grid-diagonal SUMMA
+//! (`summa_aat_sym`) against the general `summa_abt` on the same workload —
+//! the expected shape is a >1 speedup from roughly half the useful flops.
 //! CI runs this bench at every push to maintain the perf trajectory
 //! (`DIBELLA_BENCH_OUT` overrides the artifact path).
 
@@ -20,8 +23,8 @@ use dibella_sparse::spgemm::{
     local_spgemm_aat_counted, local_spgemm_abt_counted, local_spgemm_counted,
 };
 use dibella_sparse::{
-    local_spgemm, local_spgemm_baseline, summa, summa_abt, CsrMatrix, DistMat2D, PlusTimes,
-    Triples,
+    local_spgemm, local_spgemm_baseline, summa, summa_aat_sym, summa_abt, CsrMatrix, DistMat2D,
+    PlusTimes, Triples,
 };
 use std::time::{Duration, Instant};
 
@@ -83,6 +86,12 @@ fn bench_spgemm(c: &mut Criterion) {
             bencher.iter(|| {
                 let stats = CommStats::new();
                 summa_abt::<PlusTimes<i64>>(&da, &da, &stats, CommPhase::OverlapDetection)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("summa_2d_aat_sym", p), &p, |bencher, _| {
+            bencher.iter(|| {
+                let stats = CommStats::new();
+                summa_aat_sym::<PlusTimes<i64>>(&da, &stats, CommPhase::OverlapDetection)
             })
         });
         group.bench_with_input(BenchmarkId::new("outer_product_1d_aat", p), &p, |bencher, _| {
@@ -186,6 +195,20 @@ fn baseline_comparison() {
         let stats = CommStats::new();
         summa_abt::<OverlapSemiring>(&da, &da, &stats, CommPhase::OverlapDetection)
     });
+    // Symmetric grid-diagonal path at P=4: only the blocks on or above the
+    // grid diagonal are multiplied, the rest are mirrored across it.
+    let sym_2d_secs = measure(budget, 3, || {
+        let stats = CommStats::new();
+        summa_aat_sym::<OverlapSemiring>(&da, &stats, CommPhase::OverlapDetection)
+    });
+    // One counted run of each distributed kernel for the useful-flops ratio.
+    let flops_key = dibella_sparse::summa::flops_key(CommPhase::OverlapDetection);
+    let sym_stats = CommStats::new();
+    let _ = summa_aat_sym::<OverlapSemiring>(&da, &sym_stats, CommPhase::OverlapDetection);
+    let sym_2d_flops = sym_stats.extra(&flops_key);
+    let gen_stats = CommStats::new();
+    let _ = summa_abt::<OverlapSemiring>(&da, &da, &gen_stats, CommPhase::OverlapDetection);
+    let general_2d_flops = gen_stats.extra(&flops_key);
     // Local (single-block) kernels, for the finer-grained trajectory.
     let local_baseline_secs = measure(budget, 3, || {
         local_spgemm_baseline::<OverlapSemiring>(&a_local, &a_local.transpose())
@@ -212,6 +235,7 @@ fn baseline_comparison() {
     });
 
     let speedup = baseline_secs / new_secs;
+    let sym_2d_speedup = new_secs / sym_2d_secs;
     let local_speedup = local_baseline_secs / local_sym_secs;
     let random_speedup = random_baseline_secs / random_new_secs;
     let mflops = flops.flops() as f64 / local_sym_secs / 1e6;
@@ -220,6 +244,11 @@ fn baseline_comparison() {
     println!("  reads={} kmers={} nnz(A)={} nnz(C)={}", a_local.nrows(), a_local.ncols(), a_local.nnz(), c_mat.nnz());
     println!("  pre-refactor SUMMA path, P=4:       {:>10.3} ms   (transpose + HashMap/row + stage merges)", baseline_secs * 1e3);
     println!("  summa_abt, P=4:                     {:>10.3} ms  ({speedup:.2}x)", new_secs * 1e3);
+    println!(
+        "  summa_aat_sym, P=4:                 {:>10.3} ms  ({sym_2d_speedup:.2}x vs summa_abt, \
+         {sym_2d_flops} vs {general_2d_flops} useful flops)",
+        sym_2d_secs * 1e3
+    );
     println!("  local baseline (HashMap + Aᵀ):      {:>10.3} ms", local_baseline_secs * 1e3);
     println!("  local symmetric (upper + mirror):   {:>10.3} ms  ({local_speedup:.2}x)", local_sym_secs * 1e3);
     println!("  local general A·Bᵀ (CSC view):      {:>10.3} ms", abt_secs * 1e3);
@@ -241,6 +270,10 @@ fn baseline_comparison() {
             "  \"baseline_secs\": {baseline:.6},\n",
             "  \"new_secs\": {new:.6},\n",
             "  \"baseline_speedup\": {speedup:.3},\n",
+            "  \"sym_2d_secs\": {sym_secs:.6},\n",
+            "  \"sym_2d_speedup\": {sym_speedup:.3},\n",
+            "  \"sym_2d_flops\": {sym_flops},\n",
+            "  \"general_2d_flops\": {gen_flops},\n",
             "  \"local_baseline_secs\": {lbase:.6},\n",
             "  \"local_sym_secs\": {lsym:.6},\n",
             "  \"local_speedup\": {lspeed:.3},\n",
@@ -263,6 +296,10 @@ fn baseline_comparison() {
         baseline = baseline_secs,
         new = new_secs,
         speedup = speedup,
+        sym_secs = sym_2d_secs,
+        sym_speedup = sym_2d_speedup,
+        sym_flops = sym_2d_flops,
+        gen_flops = general_2d_flops,
         lbase = local_baseline_secs,
         lsym = local_sym_secs,
         lspeed = local_speedup,

@@ -14,7 +14,7 @@ use dibella_bench::{benchmark_dataset, fmt, print_header, print_row};
 use dibella_dist::{CommPhase, CommStats, ProcessGrid};
 use dibella_overlap::{
     account_read_exchange_1d, account_read_exchange_2d, align_candidates, build_a_matrix,
-    detect_candidates_1d, detect_candidates_2d, OverlapConfig,
+    detect_candidates_1d, detect_candidates_2d, detect_candidates_2d_with, OverlapConfig,
 };
 use dibella_pipeline::{CommModel, ModelParams};
 use dibella_seq::{count_kmers_distributed, DatasetSpec, KmerSelection};
@@ -29,6 +29,7 @@ fn main() {
         k,
         min_shared_kmers: 1,
         alignment: dibella_align::AlignmentConfig::for_error_rate(ds.config.error_rate),
+        ..OverlapConfig::default()
     };
     println!(
         "Table I reproduction — {} ({} reads, {:.0} bp mean length, {:.1}x depth)\n",
@@ -76,12 +77,20 @@ fn main() {
         let kc = comm.snapshot().phase(CommPhase::KmerCounting);
         emit(p, "K-mer counting", "1D=2D", kc.words, model.kmer_counting().aggregate_words, kc.messages, model.kmer_counting().aggregate_messages);
 
-        // Overlap detection, 2D SUMMA.
+        // Overlap detection, 2D SUMMA — general path, the Table-I
+        // formulation the model's `overlap_2d` row prices.
         let comm2d = CommStats::new();
         let a2d = build_a_matrix(&ds.reads, &table, k, grid, p);
-        let _ = detect_candidates_2d(&a2d, &comm2d);
+        let _ = detect_candidates_2d_with(&a2d, &comm2d, false);
         let od2 = comm2d.snapshot().phase(CommPhase::OverlapDetection);
         emit(p, "Overlap detection", "2D", od2.words, model.overlap_2d().aggregate_words, od2.messages, model.overlap_2d().aggregate_messages);
+
+        // Overlap detection, symmetric 2D SUMMA (the pipeline default):
+        // half the broadcast traffic plus the cross-diagonal exchange.
+        let comm2s = CommStats::new();
+        let _ = detect_candidates_2d_with(&a2d, &comm2s, true);
+        let od2s = comm2s.snapshot().phase(CommPhase::OverlapDetection);
+        emit(p, "Overlap detection", "2D sym", od2s.words, model.overlap_2d_sym().aggregate_words, od2s.messages, model.overlap_2d_sym().aggregate_messages);
 
         // Overlap detection, 1D outer product.
         let comm1d = CommStats::new();

@@ -78,6 +78,14 @@ pub fn alltoallv_counted<T>(
 /// messages, which is what Sparse SUMMA's per-stage `A`/`B` block broadcasts
 /// cost in the paper's Table I model.  A broadcast within a single-member
 /// group records nothing.
+///
+/// Unlike point-to-point sends, a zero-word broadcast still counts its
+/// `group_size - 1` messages: `MPI_Bcast` is a collective, so every member of
+/// the row/column communicator posts it even when the root's sparse block is
+/// empty (the receivers cannot know the payload is empty without taking part).
+/// The SUMMA kernels therefore call this for every stage block, empty or not,
+/// which keeps the accounted message count at its data-independent closed
+/// form.
 pub fn record_broadcast(stats: &CommStats, phase: CommPhase, words: u64, group_size: usize) {
     if group_size <= 1 {
         return;
@@ -85,6 +93,39 @@ pub fn record_broadcast(stats: &CommStats, phase: CommPhase, words: u64, group_s
     let peers = (group_size - 1) as u64;
     stats.record(phase, words * peers, peers);
     stats.record_rank_max(phase, words * peers);
+}
+
+/// The `CommStats::extras` key counting point-to-point words for `phase`.
+pub fn p2p_words_key(phase: CommPhase) -> String {
+    format!("p2p_words_{}", phase.name())
+}
+
+/// The `CommStats::extras` key counting point-to-point messages for `phase`.
+pub fn p2p_messages_key(phase: CommPhase) -> String {
+    format!("p2p_messages_{}", phase.name())
+}
+
+/// Account for one simulated point-to-point send of `words` words between two
+/// distinct ranks (e.g. the cross-diagonal block exchange of the symmetric
+/// Sparse SUMMA, which ships each computed `C_{i,j}` block from rank `(i, j)`
+/// to its mirror rank `(j, i)`).
+///
+/// Follows the module's point-to-point convention: empty buffers are **not**
+/// sent (unlike broadcasts, a sender knows its buffer is empty and can skip
+/// the `MPI_Send`; the matching receive learns the count from a preceding
+/// size exchange the model folds into the payload message).  Besides the
+/// phase's word/message totals, the volume is tallied under the
+/// [`p2p_words_key`]/[`p2p_messages_key`] extras so reports can split
+/// point-to-point traffic from the collective (broadcast) traffic of the same
+/// phase.
+pub fn record_p2p(stats: &CommStats, phase: CommPhase, words: u64) {
+    if words == 0 {
+        return;
+    }
+    stats.record(phase, words, 1);
+    stats.record_rank_max(phase, words);
+    stats.bump_extra(&p2p_words_key(phase), words);
+    stats.bump_extra(&p2p_messages_key(phase), 1);
 }
 
 #[cfg(test)]
@@ -160,6 +201,37 @@ mod tests {
         // Empty broadcasts still pay latency in a bigger group.
         record_broadcast(&stats, CommPhase::OverlapDetection, 0, 3);
         assert_eq!(stats.messages(CommPhase::OverlapDetection), 5);
+    }
+
+    #[test]
+    fn p2p_records_words_one_message_and_the_phase_extras() {
+        let stats = CommStats::new();
+        record_p2p(&stats, CommPhase::OverlapDetection, 25);
+        record_p2p(&stats, CommPhase::OverlapDetection, 10);
+        assert_eq!(stats.words(CommPhase::OverlapDetection), 35);
+        assert_eq!(stats.messages(CommPhase::OverlapDetection), 2);
+        assert_eq!(stats.extra(&p2p_words_key(CommPhase::OverlapDetection)), 35);
+        assert_eq!(stats.extra(&p2p_messages_key(CommPhase::OverlapDetection)), 2);
+        // Other phases see nothing.
+        assert_eq!(stats.extra(&p2p_messages_key(CommPhase::KmerCounting)), 0);
+        assert_eq!(
+            stats.snapshot().phase(CommPhase::OverlapDetection).max_words_per_rank,
+            25
+        );
+    }
+
+    #[test]
+    fn empty_p2p_sends_are_free_unlike_empty_broadcasts() {
+        // Point-to-point convention: a sender skips empty buffers entirely.
+        let stats = CommStats::new();
+        record_p2p(&stats, CommPhase::Other, 0);
+        assert_eq!(stats.words(CommPhase::Other), 0);
+        assert_eq!(stats.messages(CommPhase::Other), 0);
+        assert_eq!(stats.extra(&p2p_messages_key(CommPhase::Other)), 0);
+        // Broadcast convention: the collective is posted regardless of payload.
+        record_broadcast(&stats, CommPhase::Other, 0, 3);
+        assert_eq!(stats.words(CommPhase::Other), 0);
+        assert_eq!(stats.messages(CommPhase::Other), 2);
     }
 
     #[test]

@@ -12,9 +12,9 @@ use crate::amatrix::build_a_matrix;
 use crate::semiring::OverlapSemiring;
 use crate::types::{CommonKmers, KmerOccurrence, OverlapEdge};
 use dibella_align::{align_seed_pair, classify_alignment, AlignmentConfig, OverlapClass};
-use dibella_dist::{BlockDist, CommPhase, CommStats, ProcessGrid};
+use dibella_dist::{words_of, BlockDist, CommPhase, CommStats, ProcessGrid};
 use dibella_seq::{KmerTable, ReadSet, Strand};
-use dibella_sparse::{summa_abt_with_words, DistMat2D, Triples};
+use dibella_sparse::{summa_aat_sym_with_words, summa_abt_with_words, DistMat2D, Triples};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -26,20 +26,32 @@ pub struct OverlapConfig {
     pub k: usize,
     /// Minimum number of shared reliable k-mers for a pair to be aligned.
     pub min_shared_kmers: u32,
+    /// Compute `C = A·Aᵀ` with the symmetric SUMMA (`summa_aat_sym`): only
+    /// the grid blocks on or above the diagonal are multiplied and the rest
+    /// are mirrored across it — half the useful flops, at the cost of a
+    /// `(P − √P)/2`-message cross-diagonal block exchange.  The output is
+    /// bit-identical either way; `false` falls back to the general
+    /// transpose-free `summa_abt` path.
+    pub use_symmetric_summa: bool,
     /// Alignment settings.
     pub alignment: AlignmentConfig,
 }
 
 impl Default for OverlapConfig {
     fn default() -> Self {
-        Self { k: 17, min_shared_kmers: 1, alignment: AlignmentConfig::default() }
+        Self {
+            k: 17,
+            min_shared_kmers: 1,
+            use_symmetric_summa: true,
+            alignment: AlignmentConfig::default(),
+        }
     }
 }
 
 impl OverlapConfig {
     /// Settings scaled down for the short synthetic reads used in tests.
     pub fn for_tests(k: usize) -> Self {
-        Self { k, min_shared_kmers: 1, alignment: AlignmentConfig::for_tests() }
+        Self { k, alignment: AlignmentConfig::for_tests(), ..Self::default() }
     }
 }
 
@@ -87,18 +99,45 @@ pub fn read_exchange_words(len: usize) -> u64 {
     (len as u64).div_ceil(32) + 1
 }
 
-/// Compute the candidate overlap matrix `C = A·Aᵀ` with Sparse SUMMA and
-/// remove the diagonal (a read trivially shares all its k-mers with itself).
+/// Compute the candidate overlap matrix `C = A·Aᵀ` with the symmetric Sparse
+/// SUMMA and remove the diagonal (a read trivially shares all its k-mers
+/// with itself).
 ///
-/// The transpose-free `A·Bᵀ` SUMMA is used with `B = A`, so no distributed
-/// transpose of `A` is ever materialised: each stage walks the broadcast
-/// block's columns through a borrowed CSC view.
+/// Equivalent to [`detect_candidates_2d_with`] with the symmetric path on —
+/// the [`OverlapConfig::use_symmetric_summa`] default.
 pub fn detect_candidates_2d(
     a: &DistMat2D<KmerOccurrence>,
     stats: &CommStats,
 ) -> DistMat2D<CommonKmers> {
-    // A k-mer occurrence travels as (column index, position+orientation): 2 words.
-    let c = summa_abt_with_words::<OverlapSemiring>(a, a, stats, CommPhase::OverlapDetection, 2, 2);
+    detect_candidates_2d_with(a, stats, true)
+}
+
+/// [`detect_candidates_2d`] with an explicit kernel choice.
+///
+/// With `use_symmetric_summa` (the default), `summa_aat_sym` multiplies only
+/// the grid blocks on or above the diagonal and mirrors the rest, recording
+/// the cross-diagonal block exchange as point-to-point traffic; otherwise the
+/// general transpose-free `summa_abt` computes both triangles.  Either way no
+/// distributed transpose of `A` is ever materialised, and the two kernels
+/// produce bit-identical candidate matrices.
+pub fn detect_candidates_2d_with(
+    a: &DistMat2D<KmerOccurrence>,
+    stats: &CommStats,
+    use_symmetric_summa: bool,
+) -> DistMat2D<CommonKmers> {
+    // A k-mer occurrence travels as (column index, position+orientation): 2
+    // words; an exchanged C entry as (column index, count + seed list).
+    let c = if use_symmetric_summa {
+        summa_aat_sym_with_words::<OverlapSemiring>(
+            a,
+            stats,
+            CommPhase::OverlapDetection,
+            2,
+            words_of::<CommonKmers>() + 1,
+        )
+    } else {
+        summa_abt_with_words::<OverlapSemiring>(a, a, stats, CommPhase::OverlapDetection, 2, 2)
+    };
     c.filter(|r, col, _| r != col)
 }
 
@@ -203,7 +242,7 @@ pub fn align_candidates(
                     strand,
                     &config.alignment,
                 );
-                if best.as_ref().map_or(true, |b| aln.score > b.score) {
+                if best.as_ref().is_none_or(|b| aln.score > b.score) {
                     best = Some(aln);
                 }
             }
@@ -296,7 +335,7 @@ pub fn run_overlap_2d(
 ) -> OverlapOutput {
     let a = build_a_matrix(reads, table, config.k, grid, grid.nprocs());
     account_read_exchange_2d(reads, grid, comm);
-    let candidates = detect_candidates_2d(&a, comm);
+    let candidates = detect_candidates_2d_with(&a, comm, config.use_symmetric_summa);
     let (overlaps, stats) = align_candidates(reads, &candidates, config);
     OverlapOutput { a, candidates, overlaps, stats }
 }
@@ -428,6 +467,84 @@ mod tests {
         // No edge may touch a contained read.
         if s.contained_reads > 0 {
             assert!(out.overlaps.nnz() < 2 * s.dovetail || s.dovetail == 0);
+        }
+    }
+
+    #[test]
+    fn symmetric_and_general_summa_are_bit_identical_on_real_occurrences() {
+        let (ds, table, cfg) = setup(8);
+        for p in [1usize, 4, 9, 16] {
+            let grid = ProcessGrid::square(p);
+            let a = build_a_matrix(&ds.reads, &table, cfg.k, grid, p);
+            let comm_sym = CommStats::new();
+            let sym = detect_candidates_2d_with(&a, &comm_sym, true);
+            let comm_gen = CommStats::new();
+            let general = detect_candidates_2d_with(&a, &comm_gen, false);
+            assert_eq!(sym, general, "P={p}: candidate matrices must be bit-identical");
+            // The symmetric path does about half the multiply work.
+            let key = dibella_sparse::summa::flops_key(CommPhase::OverlapDetection);
+            let (sf, gf) = (comm_sym.extra(&key), comm_gen.extra(&key));
+            assert!(sf > 0 && sf < gf, "P={p}: sym flops {sf} vs general {gf}");
+            assert!(2 * sf >= gf, "P={p}: upper triangle covers every product");
+        }
+    }
+
+    #[test]
+    fn symmetric_summa_records_the_cross_diagonal_exchange() {
+        let (ds, table, cfg) = setup(9);
+        let grid = ProcessGrid::square(9);
+        let a = build_a_matrix(&ds.reads, &table, cfg.k, grid, 9);
+        let comm = CommStats::new();
+        let _ = detect_candidates_2d_with(&a, &comm, true);
+        let msgs = comm
+            .extra(&dibella_dist::collectives::p2p_messages_key(CommPhase::OverlapDetection));
+        assert!(msgs > 0, "cross-diagonal exchange must be accounted");
+        assert!(msgs <= (9 - 3) / 2, "at most (P − √P)/2 block sends");
+        // The general path records no point-to-point traffic at all.
+        let comm_gen = CommStats::new();
+        let _ = detect_candidates_2d_with(&a, &comm_gen, false);
+        assert_eq!(
+            comm_gen
+                .extra(&dibella_dist::collectives::p2p_messages_key(CommPhase::OverlapDetection)),
+            0
+        );
+    }
+
+    #[test]
+    fn overlap_pipeline_output_is_independent_of_the_summa_kernel() {
+        let (ds, table, cfg) = setup(10);
+        let general_cfg = OverlapConfig { use_symmetric_summa: false, ..cfg };
+        let comm_sym = CommStats::new();
+        let sym = run_overlap_2d(&ds.reads, &table, &cfg, ProcessGrid::square(4), &comm_sym);
+        let comm_gen = CommStats::new();
+        let gen =
+            run_overlap_2d(&ds.reads, &table, &general_cfg, ProcessGrid::square(4), &comm_gen);
+        assert_eq!(sym.overlaps.to_local_csr(), gen.overlaps.to_local_csr());
+        assert_eq!(sym.stats, gen.stats);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_symmetric_summa_matches_general_over_the_overlap_semiring(
+            coords in proptest::collection::btree_set((0usize..24, 0usize..20), 1..120),
+            grid_side in 1usize..5,
+        ) {
+            use dibella_sparse::Triples;
+            // Random occurrence matrix: position and strand vary per entry.
+            let entries: Vec<(usize, usize, KmerOccurrence)> = coords
+                .into_iter()
+                .enumerate()
+                .map(|(i, (r, c))| {
+                    (r, c, KmerOccurrence { pos: (i * 13 % 251) as u32, forward: i % 3 != 0 })
+                })
+                .collect();
+            let t = Triples::from_entries(24, 20, entries);
+            let grid = ProcessGrid::square(grid_side * grid_side);
+            let a = DistMat2D::from_triples(grid, &t);
+            let sym = detect_candidates_2d_with(&a, &CommStats::new(), true);
+            let general = detect_candidates_2d_with(&a, &CommStats::new(), false);
+            proptest::prop_assert_eq!(sym, general);
         }
     }
 

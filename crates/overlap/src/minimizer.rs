@@ -88,7 +88,7 @@ fn sketch(seq: &DnaSeq, k: usize, w: usize) -> Vec<(u64, u32, bool)> {
     }
     for window in hashes.windows(w) {
         let min = window.iter().min_by_key(|(h, _, _)| *h).unwrap();
-        if out.last().map_or(true, |last| last.1 != min.1) {
+        if out.last().is_none_or(|last| last.1 != min.1) {
             out.push(*min);
         }
     }

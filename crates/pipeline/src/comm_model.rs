@@ -120,6 +120,33 @@ impl CommModel {
         }
     }
 
+    /// Overlap detection with the **symmetric** (grid-diagonal mirrored) 2D
+    /// Sparse SUMMA, the `detect_candidates_2d` default: each block of `A` is
+    /// broadcast `√P − 1` times in total (vs `2(√P − 1)` for the general
+    /// path), and the strictly-upper off-diagonal blocks of `C` — about
+    /// `c·n/2 · (1 − 1/√P)` entries — travel point-to-point across the grid
+    /// diagonal in `(P − √P)/2` messages at the `C`-entry wire size.
+    pub fn overlap_2d_sym(&self) -> PhaseCost {
+        let pm = &self.params;
+        let nnz_a = pm.a * pm.m as f64;
+        let broadcast =
+            nnz_a * ModelParams::SPGEMM_ENTRY_WORDS as f64 * (self.sqrt_p() - 1.0);
+        // Strict upper triangle of C, minus the share living in the √P
+        // diagonal grid blocks (those are mirrored locally, never shipped);
+        // priced at the same wire size the instrumentation uses.
+        let exchange_entries =
+            pm.c * pm.n as f64 / 2.0 * (1.0 - 1.0 / self.sqrt_p());
+        let exchange_entry_words =
+            (dibella_dist::words_of::<dibella_overlap::CommonKmers>() + 1) as f64;
+        let aggregate = broadcast + exchange_entries * exchange_entry_words;
+        PhaseCost {
+            aggregate_words: aggregate,
+            per_process_words: aggregate / self.p as f64,
+            aggregate_messages: self.p as f64 * (self.sqrt_p() - 1.0)
+                + (self.p as f64 - self.sqrt_p()) / 2.0,
+        }
+    }
+
     /// Overlap detection with the 1D outer product: `W = a²m/P` per process.
     /// (The model ignores the local merging of duplicate partial products, so
     /// it is an upper bound at small `P`.)

@@ -65,6 +65,7 @@ impl PipelineConfig {
             k,
             min_shared_kmers: 1,
             alignment: dibella_align::AlignmentConfig::for_error_rate(error_rate),
+            ..OverlapConfig::default()
         };
         overlap.alignment.min_overlap = 300;
         overlap.alignment.classification_fuzz = 400;

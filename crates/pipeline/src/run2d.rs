@@ -4,7 +4,7 @@ use crate::config::PipelineConfig;
 use crate::timings::{timed, StageTimings};
 use dibella_dist::{par_ranks, CommPhase, CommSnapshot, CommStats, ProcessGrid};
 use dibella_overlap::{
-    account_read_exchange_2d, align_candidates, build_a_matrix, detect_candidates_2d,
+    account_read_exchange_2d, align_candidates, build_a_matrix, detect_candidates_2d_with,
     OverlapEdge, OverlapStats,
 };
 use dibella_seq::{count_kmers_distributed, parse_fasta, parse_fastq_filtered, ReadSet};
@@ -172,8 +172,10 @@ pub fn run_dibella_2d_on_reads(
     let (_, t_exchange) = timed(|| account_read_exchange_2d(reads, grid, comm));
     timings.exchange_read = t_exchange;
 
-    // SpGEMM: C = A·Aᵀ with the shared-k-mer semiring.
-    let (candidates, t_spgemm) = timed(|| detect_candidates_2d(&a, comm));
+    // SpGEMM: C = A·Aᵀ with the shared-k-mer semiring (symmetric
+    // grid-diagonal SUMMA unless the config opts out).
+    let (candidates, t_spgemm) =
+        timed(|| detect_candidates_2d_with(&a, comm, config.overlap.use_symmetric_summa));
     timings.spgemm = t_spgemm;
 
     // Alignment: x-drop seed-and-extend on every candidate, then pruning.

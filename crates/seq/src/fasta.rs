@@ -99,6 +99,32 @@ impl ReadSet {
     }
 }
 
+/// Split text into logical lines, accepting Unix (`\n`), Windows (`\r\n`)
+/// and classic-Mac (`\r`) line endings, in any mixture, with or without a
+/// terminator on the final line.
+///
+/// Sequencing data regularly crosses Windows tooling on its way to a
+/// pipeline, so the parsers must not reject a byte-identical record set just
+/// because of its line endings (`str::lines` covers `\n` and `\r\n` but
+/// leaves lone-`\r` files as one giant line).
+fn logical_lines(text: &str) -> impl Iterator<Item = &str> {
+    let mut rest = text;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.find(['\n', '\r']) {
+            None => Some(std::mem::take(&mut rest)),
+            Some(pos) => {
+                let line = &rest[..pos];
+                let sep = if rest[pos..].starts_with("\r\n") { 2 } else { 1 };
+                rest = &rest[pos + sep..];
+                Some(line)
+            }
+        }
+    })
+}
+
 /// Parse FASTA text into a [`ReadSet`].
 ///
 /// Records may span multiple lines; blank lines are ignored.  Characters other
@@ -109,7 +135,7 @@ pub fn parse_fasta(text: &str) -> Result<ReadSet, String> {
     let mut raw: Vec<(String, String)> = Vec::new();
     let mut current_name: Option<String> = None;
     let mut current_seq = String::new();
-    for line in text.lines() {
+    for line in logical_lines(text) {
         let line = line.trim_end();
         if line.is_empty() {
             continue;
@@ -200,7 +226,9 @@ pub struct FastqFilterStats {
 /// characters.  Multi-line sequences are rejected — every modern long-read
 /// FASTQ writer emits four-line records — as are the malformed shapes the
 /// unit tests pin down (missing separator, truncated qualities, bases
-/// outside `{A, C, G, T}`).
+/// outside `{A, C, G, T}`).  Line endings are forgiven rather than the
+/// format: Unix, Windows (CRLF) and classic-Mac (lone CR) endings are all
+/// accepted, as is a final quality line with no terminating newline.
 pub fn parse_fastq(text: &str) -> Result<(ReadSet, Vec<f64>), String> {
     let parsed = parse_fastq_records(text)?;
     let mut qualities = Vec::with_capacity(parsed.len());
@@ -214,7 +242,7 @@ pub fn parse_fastq(text: &str) -> Result<(ReadSet, Vec<f64>), String> {
 
 fn parse_fastq_records(text: &str) -> Result<Vec<(ReadRecord, f64)>, String> {
     let mut raw: Vec<(String, String, String)> = Vec::new();
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim_end().is_empty());
+    let mut lines = logical_lines(text).enumerate().filter(|(_, l)| !l.trim_end().is_empty());
     while let Some((lineno, header)) = lines.next() {
         let header = header.trim_end();
         let Some(rest) = header.strip_prefix('@') else {
@@ -257,7 +285,7 @@ fn parse_fastq_records(text: &str) -> Result<Vec<(ReadRecord, f64)>, String> {
             }
             let mut sum = 0u64;
             for (i, &q) in qual.as_bytes().iter().enumerate() {
-                if q < PHRED_OFFSET || q > b'~' {
+                if !(PHRED_OFFSET..=b'~').contains(&q) {
                     return Err(format!(
                         "record {name}: invalid quality character {:?} at position {i}",
                         q as char
@@ -432,6 +460,63 @@ mod tests {
     fn fastq_non_printable_quality_characters_are_rejected() {
         let err = parse_fastq("@x\nACGT\n+\nII\u{7f}I\n").unwrap_err();
         assert!(err.contains("invalid quality"), "{err}");
+    }
+
+    #[test]
+    fn fastq_accepts_crlf_line_endings() {
+        // Windows-formatted file: every line terminated with \r\n.
+        let crlf = FASTQ.replace('\n', "\r\n");
+        let (reads, quals) = parse_fastq(&crlf).unwrap();
+        let (unix_reads, unix_quals) = parse_fastq(FASTQ).unwrap();
+        assert_eq!(reads, unix_reads);
+        assert_eq!(quals, unix_quals);
+    }
+
+    #[test]
+    fn fastq_accepts_lone_cr_line_endings() {
+        // Classic-Mac endings (and mixed endings) parse identically too.
+        let cr = FASTQ.replace('\n', "\r");
+        let (reads, _) = parse_fastq(&cr).unwrap();
+        assert_eq!(reads, parse_fastq(FASTQ).unwrap().0);
+        let mixed = "@a\nACGT\r\n+\rIIII\n";
+        let (reads, _) = parse_fastq(mixed).unwrap();
+        assert_eq!(reads.seq(0).to_ascii(), "ACGT");
+    }
+
+    #[test]
+    fn fastq_accepts_a_missing_final_newline() {
+        // The last quality line is unterminated; the record still parses.
+        let (reads, quals) = parse_fastq("@x\nACGT\n+\nIIII").unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads.seq(0).to_ascii(), "ACGT");
+        assert!((quals[0] - 40.0).abs() < 1e-9);
+        // Same for CRLF files truncated before the final \r\n.
+        let (reads, _) = parse_fastq("@x\r\nACGT\r\n+\r\nIIII").unwrap();
+        assert_eq!(reads.len(), 1);
+    }
+
+    #[test]
+    fn fastq_crlf_malformed_records_are_still_rejected() {
+        // Line-ending tolerance must not weaken the format checks: the \r is
+        // not part of the quality string, so the length mismatch is caught.
+        let err = parse_fastq("@x\r\nACGT\r\n+\r\nII\r\n").unwrap_err();
+        assert!(err.contains("quality length"), "{err}");
+        let err = parse_fastq("@x\r\nACGT\r\nIIII\r\n").unwrap_err();
+        assert!(err.contains("separator"), "{err}");
+        // A truncated CRLF record is missing its quality line, not blessed
+        // with an empty one.
+        let err = parse_fastq("@x\r\nACGT\r\n+\r\n").unwrap_err();
+        assert!(err.contains("missing quality"), "{err}");
+    }
+
+    #[test]
+    fn fasta_accepts_foreign_line_endings_and_no_final_newline() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        assert_eq!(parse_fasta(&crlf).unwrap(), parse_fasta(SAMPLE).unwrap());
+        let cr = SAMPLE.replace('\n', "\r");
+        assert_eq!(parse_fasta(&cr).unwrap(), parse_fasta(SAMPLE).unwrap());
+        let reads = parse_fasta(">x\nACGT").unwrap();
+        assert_eq!(reads.seq(0).to_ascii(), "ACGT");
     }
 
     #[test]

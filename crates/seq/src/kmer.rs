@@ -126,7 +126,7 @@ impl<'a> KmerIter<'a> {
     /// # Panics
     /// Panics if `k` is 0 or exceeds [`MAX_K`].
     pub fn new(seq: &'a DnaSeq, k: usize) -> Self {
-        assert!(k >= 1 && k <= MAX_K, "k must be in 1..={MAX_K}");
+        assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
         Self { seq, k, pos: 0 }
     }
 }

@@ -270,7 +270,7 @@ impl<T: Clone> CsrMatrix<T> {
         let ncols = triples.ncols();
         let mut entries: Vec<(usize, usize, T)> =
             triples.iter().map(|(r, c, v)| (r, c, v.clone())).collect();
-        entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        entries.sort_by_key(|a| (a.0, a.1));
         for w in entries.windows(2) {
             assert!(
                 (w[0].0, w[0].1) != (w[1].0, w[1].1),

@@ -47,7 +47,10 @@ pub use distmat::DistMat2D;
 pub use semiring::{BoolAndOr, MinPlusNum, MirrorSemiring, PlusTimes, Semiring};
 pub use spgemm::{
     dense_reference_spgemm, local_spgemm, local_spgemm_aat, local_spgemm_abt,
-    local_spgemm_baseline,
+    local_spgemm_baseline, mirror_block,
 };
-pub use summa::{summa, summa_abt, summa_abt_with_words, summa_with_words};
+pub use summa::{
+    summa, summa_aat_sym, summa_aat_sym_with_words, summa_abt, summa_abt_with_words,
+    summa_with_words,
+};
 pub use triples::Triples;

@@ -20,6 +20,11 @@ use crate::triples::Triples;
 use dibella_dist::{alltoallv_counted, par_ranks, words_of, BlockDist, CommPhase, CommStats};
 use rayon::prelude::*;
 
+/// One source rank's per-destination COO buffers of the 1D all-to-all
+/// reduction (entry `[dst]` holds the `(row, col, value)` triples bound for
+/// rank `dst`).
+type CooBuffers<T> = Vec<Vec<(usize, usize, T)>>;
+
 /// Result of a 1D outer-product SpGEMM: the output matrix distributed in block
 /// rows over `nprocs` ranks, plus the gathered global matrix.
 pub struct Outer1dResult<T> {
@@ -202,11 +207,10 @@ fn reduce_partials<S: Semiring>(
     entry_words: u64,
 ) -> Outer1dResult<S::Out> {
     let nprocs = partials.len();
-    let send: Vec<Vec<Vec<(usize, usize, S::Out)>>> = partials
+    let send: Vec<CooBuffers<S::Out>> = partials
         .par_iter()
         .map(|partial| {
-            let mut bufs: Vec<Vec<(usize, usize, S::Out)>> =
-                (0..nprocs).map(|_| Vec::new()).collect();
+            let mut bufs: CooBuffers<S::Out> = (0..nprocs).map(|_| Vec::new()).collect();
             for (r, c, v) in partial.iter() {
                 bufs[out_row_dist.owner(r)].push((r, c, v.clone()));
             }

@@ -246,29 +246,62 @@ pub fn local_spgemm_aat_counted<S: MirrorSemiring>(
     a: &CsrMatrix<S::Left>,
     flops: &FlopCounter,
 ) -> CsrMatrix<S::Out> {
-    let n = a.nrows();
-    // Contiguous column-major copy of A (rows of Aᵀ), built once and walked
-    // by every worker; MirrorSemiring pins `Right = Left`, so the slices can
-    // be walked directly without the `RightRows` indirection.
     let at = a.transpose();
-    let at_rowptr = at.rowptr();
-    let at_cols = at.colidx();
-    let at_vals = at.values();
-    // Upper triangle: row i accumulates only columns j >= i, entered at the
-    // right offset of each column by binary search.
+    spgemm_stages_aat::<S, _>(a.nrows(), &[(a, &at)], AccumPolicy::Auto, flops)
+}
+
+/// Multiply-accumulate a sequence of stage pairs into one **diagonal** block
+/// of a symmetric product, `C = Σ_s A_s · (A_s)ᵀ`, computing only the upper
+/// triangle (diagonal included) and mirroring it into the lower one — the
+/// multi-stage generalisation of [`local_spgemm_aat`] that the symmetric
+/// Sparse SUMMA runs on its grid-diagonal blocks.
+///
+/// `n` is the (square) output dimension; each stage's effective right operand
+/// must be the transpose of its left one (same inner dimension, `n` columns).
+/// Row `i` enters every effective right row at its upper-triangle offset via
+/// [`RightRows::inner_from`] (a binary search per inner index).
+///
+/// Exactness: for every inner index shared by rows `i` and `j ≥ i`, the
+/// products contributing to `C[i][j]` and `C[j][i]` arrive in the same
+/// (stage-major, ascending inner index) order in both this kernel and the
+/// general [`spgemm_stages`], so `C[j][i] = mirror(C[i][j])` entry for entry —
+/// see [`MirrorSemiring`].  Only the upper-triangle multiplies are tallied
+/// into `flops`.
+pub fn spgemm_stages_aat<S, R>(
+    n: usize,
+    stages: &[(&CsrMatrix<S::Left>, &R)],
+    policy: AccumPolicy,
+    flops: &FlopCounter,
+) -> CsrMatrix<S::Out>
+where
+    S: MirrorSemiring,
+    R: RightRows<S::Left>,
+{
+    for (a, right) in stages {
+        assert_eq!(a.nrows(), n, "stage with mismatched output row count");
+        assert_eq!(right.ncols(), n, "stage with mismatched output column count");
+        assert_eq!(
+            a.ncols(),
+            right.nrows(),
+            "inner dimension mismatch: A is {}x{}, B is {}x{}",
+            a.nrows(),
+            a.ncols(),
+            right.nrows(),
+            right.ncols()
+        );
+    }
     let upper: Vec<Vec<(usize, S::Out)>> = pool::map_indexed_with(
         n,
-        || Accumulator::<S::Out>::new(n),
+        || Accumulator::with_policy(n, policy),
         |acc, i| {
             let mut products = 0u64;
-            for (k, aval) in a.row(i) {
-                let lo = at_rowptr[k];
-                let hi = at_rowptr[k + 1];
-                let start = lo + at_cols[lo..hi].partition_point(|&j| j < i);
-                for idx in start..hi {
-                    if let Some(prod) = S::multiply(aval, &at_vals[idx]) {
-                        products += 1;
-                        acc.scatter(at_cols[idx], prod, S::add);
+            for (a, right) in stages {
+                for (k, aval) in a.row(i) {
+                    for (j, bval) in right.inner_from(k, i) {
+                        if let Some(prod) = S::multiply(aval, bval) {
+                            products += 1;
+                            acc.scatter(j, prod, S::add);
+                        }
                     }
                 }
             }
@@ -279,9 +312,18 @@ pub fn local_spgemm_aat_counted<S: MirrorSemiring>(
             row
         },
     );
-    // Mirror the strict upper triangle into the lower one.  Iterating i
-    // ascending appends to each lower row in ascending column order, so
-    // `lower[j] ++ upper[j]` is sorted.
+    mirror_upper_rows::<S>(n, upper)
+}
+
+/// Mirror the strict upper triangle of per-row `(col, value)` results into
+/// the lower one and assemble the full square CSR block.
+///
+/// Iterating `i` ascending appends to each lower row in ascending column
+/// order, so `lower[j] ++ upper[j]` is sorted without any per-row sort.
+fn mirror_upper_rows<S: MirrorSemiring>(
+    n: usize,
+    upper: Vec<Vec<(usize, S::Out)>>,
+) -> CsrMatrix<S::Out> {
     let mut lower: Vec<Vec<(usize, S::Out)>> = vec![Vec::new(); n];
     for (i, row) in upper.iter().enumerate() {
         for (j, v) in row {
@@ -299,6 +341,14 @@ pub fn local_spgemm_aat_counted<S: MirrorSemiring>(
         })
         .collect();
     rows_to_csr(n, n, rows)
+}
+
+/// The cross-diagonal mirror of a computed off-diagonal block of a symmetric
+/// product: `C_{j,i} = mirror((C_{i,j})ᵀ)` — transpose the pattern, mirror
+/// every value.  This is what the symmetric Sparse SUMMA materialises on each
+/// strictly-lower grid rank after receiving its partner's block.
+pub fn mirror_block<S: MirrorSemiring>(block: &CsrMatrix<S::Out>) -> CsrMatrix<S::Out> {
+    block.transpose().map(|_, _, v| S::mirror(v))
 }
 
 /// Accumulate `A · B` into an existing set of per-row partial results.
@@ -445,11 +495,9 @@ pub fn matches_dense<T: PartialEq + Clone>(
     if dense.len() != sparse.nrows() {
         return false;
     }
-    for i in 0..sparse.nrows() {
-        for j in 0..sparse.ncols() {
-            let d = dense[i][j].as_ref();
-            let s = sparse.get(i, j);
-            if d != s {
+    for (i, dense_row) in dense.iter().enumerate() {
+        for (j, d) in dense_row.iter().enumerate() {
+            if d.as_ref() != sparse.get(i, j) {
                 return false;
             }
         }
@@ -570,6 +618,36 @@ mod tests {
         flops: &FlopCounter,
     ) -> CsrMatrix<i64> {
         local_spgemm_abt_counted::<PlusTimes<i64>>(a, a, flops)
+    }
+
+    #[test]
+    fn staged_aat_kernel_matches_the_single_stage_one() {
+        // Split A column-wise into two stages; Σ_s A_s·A_sᵀ over both must
+        // equal the one-shot A·Aᵀ.
+        let a = arb_like_matrix(14, 10, 4);
+        let whole = local_spgemm_aat::<PlusTimes<i64>>(&a);
+        let left = a.filter(|_, c, _| c < 5);
+        let right = a.filter(|_, c, _| c >= 5);
+        let (lt, rt) = (left.transpose(), right.transpose());
+        let flops = FlopCounter::new();
+        let staged = spgemm_stages_aat::<PlusTimes<i64>, _>(
+            a.nrows(),
+            &[(&left, &lt), (&right, &rt)],
+            AccumPolicy::Auto,
+            &flops,
+        );
+        assert_eq!(staged, whole);
+        assert!(flops.flops() > 0);
+    }
+
+    #[test]
+    fn mirror_block_transposes_and_mirrors() {
+        let block = matrix_from(vec![(0, 1, 3), (2, 0, -4), (1, 1, 5)], 3, 2);
+        let mirrored = mirror_block::<PlusTimes<i64>>(&block);
+        assert_eq!(mirrored.nrows(), 2);
+        assert_eq!(mirrored.ncols(), 3);
+        // PlusTimes mirrors by identity, so this is a plain transpose.
+        assert_eq!(mirrored, block.transpose());
     }
 
     #[test]

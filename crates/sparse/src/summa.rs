@@ -15,7 +15,12 @@
 //! no per-stage sorted merge.  [`summa_abt`] computes the transpose-free
 //! `C = A·Bᵀ` (overlap detection's `A·Aᵀ`) by broadcasting `B`'s blocks in
 //! locally-converted column-major form instead of materialising and
-//! re-distributing a second (transposed) matrix.
+//! re-distributing a second (transposed) matrix.  [`summa_aat_sym`] goes one
+//! step further for `C = A·Aᵀ` over a [`MirrorSemiring`]: it multiplies only
+//! the grid blocks on or above the diagonal and mirrors the rest across it,
+//! halving the useful flops at the cost of a `(P − √P)/2`-message
+//! cross-diagonal block exchange (accounted via
+//! [`dibella_dist::collectives::record_p2p`]).
 //!
 //! Every SUMMA records its arithmetic into `CommStats::extras` under
 //! phase-suffixed keys (see [`flops_key`], [`probes_key`],
@@ -25,10 +30,14 @@
 use crate::accum::{AccumPolicy, FlopCounter};
 use crate::csr::CsrMatrix;
 use crate::distmat::DistMat2D;
-use crate::semiring::Semiring;
-use crate::spgemm::spgemm_stages;
-use dibella_dist::collectives::record_broadcast;
+use crate::semiring::{MirrorSemiring, Semiring};
+use crate::spgemm::{mirror_block, spgemm_stages, spgemm_stages_aat};
+use dibella_dist::collectives::{record_broadcast, record_p2p};
 use dibella_dist::{par_ranks, words_of, CommPhase, CommStats};
+
+/// One rank's SUMMA stage list: the `(A block, effective-B block)` operand
+/// pairs handed to the accumulate-in-place block multiply at once.
+type StagePairs<'a, L, R> = Vec<(&'a CsrMatrix<L>, &'a CsrMatrix<R>)>;
 
 /// The `CommStats::extras` key carrying useful SpGEMM flops for `phase`.
 pub fn flops_key(phase: CommPhase) -> String {
@@ -95,7 +104,14 @@ pub fn summa_with_words<S: Semiring>(
 
     let stages = grid.cols();
 
-    // Account for the stage broadcasts exactly as MPI would perform them.
+    // Account for the stage broadcasts exactly as MPI would perform them:
+    // A_{i,k} travels along grid row i (to the row's grid.cols() members),
+    // B_{k,j} along grid column j (to the column's grid.rows() members).
+    // Broadcasts are collectives, so an empty block still posts its
+    // per-member messages (see [`record_broadcast`]); the accounted message
+    // count therefore has the data-independent closed form
+    // `stages · (rows·(cols-1) + cols·(rows-1))` and the word count is
+    // `(group-1) · Σ nnz · entry_words` per operand.
     for k in 0..stages {
         for i in 0..grid.rows() {
             let words = a.block_nnz(i, k) as u64 * a_entry_words;
@@ -116,7 +132,7 @@ pub fn summa_with_words<S: Semiring>(
     let flops = FlopCounter::new();
     let blocks: Vec<CsrMatrix<S::Out>> = par_ranks(grid.nprocs(), |rank| {
         let (i, j) = grid.coords(rank);
-        let pairs: Vec<(&CsrMatrix<S::Left>, &CsrMatrix<S::Right>)> = (0..stages)
+        let pairs: StagePairs<'_, S::Left, S::Right> = (0..stages)
             .filter_map(|k| {
                 let a_block = a.block(i, k);
                 let b_block = b.block(k, j);
@@ -185,15 +201,19 @@ pub fn summa_abt_with_words<S: Semiring>(
 
     // Stage broadcasts: A_{i,k} travels along grid row i exactly as in
     // [`summa`]; the role of B_{k,j} is played by (B_{j,k})ᵀ, so block
-    // B_{j,k} travels along grid column j.  Volumes match a SUMMA on a
-    // materialised transpose, as they must — only the local representation
-    // (CSC view instead of transposed CSR) differs.
+    // B_{j,k} travels along grid column j to the column's grid.rows()
+    // members.  Volumes match a SUMMA on a materialised transpose, as they
+    // must — only the local representation (CSC instead of transposed CSR)
+    // differs.  `j` enumerates grid columns, so its bound is grid.cols();
+    // B's row blocks are distributed over grid *rows*, which is why the
+    // square-grid assert above is load-bearing for `b.block_nnz(j, k)`.
+    // Empty blocks still post their broadcast (see [`summa_with_words`]).
     for k in 0..stages {
         for i in 0..grid.rows() {
             let words = a.block_nnz(i, k) as u64 * a_entry_words;
             record_broadcast(stats, phase, words, grid.cols());
         }
-        for j in 0..grid.rows() {
+        for j in 0..grid.cols() {
             let words = b.block_nnz(j, k) as u64 * b_entry_words;
             record_broadcast(stats, phase, words, grid.rows());
         }
@@ -214,7 +234,7 @@ pub fn summa_abt_with_words<S: Semiring>(
     let flops = FlopCounter::new();
     let blocks: Vec<CsrMatrix<S::Out>> = par_ranks(grid.nprocs(), |rank| {
         let (i, j) = grid.coords(rank);
-        let pairs: Vec<(&CsrMatrix<S::Left>, &CsrMatrix<S::Right>)> = (0..stages)
+        let pairs: StagePairs<'_, S::Left, S::Right> = (0..stages)
             .filter_map(|k| {
                 let a_block = a.block(i, k);
                 let view = &columns[grid.rank_of(j, k)];
@@ -234,12 +254,151 @@ pub fn summa_abt_with_words<S: Semiring>(
     DistMat2D::from_blocks(grid, a.nrows(), b.nrows(), blocks)
 }
 
+/// Compute the symmetric product `C = A·Aᵀ` over a [`MirrorSemiring`] with a
+/// Sparse SUMMA that exploits the **grid-diagonal block symmetry** of `C`:
+/// only the blocks on or above the grid diagonal (`i ≤ j`) are multiplied.
+///
+/// * Off-diagonal upper blocks (`i < j`) run the general transpose-free stage
+///   kernel of [`summa_abt`].
+/// * Diagonal blocks (`i = j`) run the upper-triangle+mirror stage kernel
+///   ([`spgemm_stages_aat`]), since a diagonal block of `A·Aᵀ` is itself
+///   mirror-symmetric.
+/// * Every strictly-lower block `C_{j,i}` is materialised by mirroring its
+///   computed partner: `C_{j,i} = mirror((C_{i,j})ᵀ)` ([`mirror_block`]).
+///
+/// This halves the useful multiply work of [`summa_abt`] (exactly the upper
+/// triangle of `C` is computed) at the price of a cross-diagonal exchange:
+/// each computed `C_{i,j}` (`i < j`) travels point-to-point from rank
+/// `(i, j)` to rank `(j, i)` — `(P − √P)/2` messages of
+/// `nnz(C_{i,j}) · out_entry_words` words, recorded via
+/// [`record_p2p`] so the phase's totals and its `p2p_*` extras show what the
+/// halved flops cost in latency.  Stage broadcasts shrink to the
+/// participating upper-triangle ranks (block `A_{i,k}` serves grid row `i`'s
+/// columns `j ≥ i` as the left operand and grid column `i`'s rows `i' ≤ i`
+/// as the transposed right operand — `(√P − i − 1) + i = √P − 1` accounted
+/// copies per block instead of the general path's `2(√P − 1)`), so both the
+/// broadcast volume and its message count halve as well.
+///
+/// The output is **bit-identical** to `summa_abt(a, a, ..)` at every grid
+/// size and thread count: products for any entry arrive in the same
+/// (stage-major, ascending inner index) order in both formulations, and
+/// [`MirrorSemiring::mirror`] reconstructs the lower triangle entry for
+/// entry.
+pub fn summa_aat_sym<S: MirrorSemiring>(
+    a: &DistMat2D<S::Left>,
+    stats: &CommStats,
+    phase: CommPhase,
+) -> DistMat2D<S::Out> {
+    summa_aat_sym_with_words::<S>(
+        a,
+        stats,
+        phase,
+        words_of::<S::Left>() + 1,
+        words_of::<S::Out>() + 1,
+    )
+}
+
+/// [`summa_aat_sym`] with explicit per-entry word costs for the operand and
+/// for the exchanged output blocks.
+pub fn summa_aat_sym_with_words<S: MirrorSemiring>(
+    a: &DistMat2D<S::Left>,
+    stats: &CommStats,
+    phase: CommPhase,
+    a_entry_words: u64,
+    out_entry_words: u64,
+) -> DistMat2D<S::Out> {
+    let grid = a.grid();
+    assert!(grid.is_square(), "Sparse SUMMA requires a square process grid");
+
+    let stages = grid.cols();
+
+    // Stage broadcasts, restricted to the ranks that actually compute: block
+    // A_{i,k} serves (as the left operand) the upper-triangle ranks
+    // `(i, j ≥ i)` of grid row i — a (cols − i)-member group — and (as the
+    // transposed right operand) the ranks `(i' ≤ i, i)` of grid column i — an
+    // (i + 1)-member group.  Together that is (cols − 1) accounted copies per
+    // block — half the general path's 2(cols − 1) — so the stage-broadcast
+    // words and messages both halve.  Empty blocks still post their
+    // broadcasts (collectives; see [`summa_with_words`]).
+    for k in 0..stages {
+        for i in 0..grid.rows() {
+            let words = a.block_nnz(i, k) as u64 * a_entry_words;
+            record_broadcast(stats, phase, words, grid.cols() - i);
+            record_broadcast(stats, phase, words, i + 1);
+        }
+    }
+    stats.bump_extra("summa_stages", stages as u64);
+
+    // Column-major form of every block of A, shared by all consumers (the
+    // same local conversion summa_abt performs).
+    let columns: Vec<CsrMatrix<S::Left>> =
+        par_ranks(grid.nprocs(), |rank| a.blocks()[rank].transpose());
+
+    let row_dist = a.row_dist();
+    let flops = FlopCounter::new();
+    let upper: Vec<Option<CsrMatrix<S::Out>>> = par_ranks(grid.nprocs(), |rank| {
+        let (i, j) = grid.coords(rank);
+        if i > j {
+            return None;
+        }
+        let pairs: StagePairs<'_, S::Left, S::Left> = (0..stages)
+            .filter_map(|k| {
+                let a_block = a.block(i, k);
+                let view = &columns[grid.rank_of(j, k)];
+                (!a_block.is_empty() && !view.is_empty()).then_some((a_block, view))
+            })
+            .collect();
+        Some(if i == j {
+            // A diagonal block of A·Aᵀ is mirror-symmetric on its own: its
+            // local upper triangle is exactly the global one, because the
+            // row and column offsets of block (i, i) coincide.
+            spgemm_stages_aat::<S, _>(row_dist.size(i), &pairs, AccumPolicy::Auto, &flops)
+        } else {
+            spgemm_stages::<S, _>(
+                row_dist.size(i),
+                row_dist.size(j),
+                &pairs,
+                AccumPolicy::Auto,
+                &flops,
+            )
+        })
+    });
+    record_flops(stats, phase, &flops);
+
+    // Cross-diagonal exchange: rank (i, j) ships its computed C_{i,j} to the
+    // mirror rank (j, i).  Empty blocks are skipped (the point-to-point
+    // convention), so a diagonal-heavy C costs fewer than (P − √P)/2 sends.
+    for rank in grid.ranks() {
+        let (i, j) = grid.coords(rank);
+        if i < j {
+            let nnz = upper[rank].as_ref().map_or(0, CsrMatrix::nnz);
+            record_p2p(stats, phase, nnz as u64 * out_entry_words);
+        }
+    }
+
+    // Materialise the strictly-lower blocks from their received partners.
+    let mirrored: Vec<Option<CsrMatrix<S::Out>>> = par_ranks(grid.nprocs(), |rank| {
+        let (i, j) = grid.coords(rank);
+        (i > j).then(|| {
+            mirror_block::<S>(upper[grid.rank_of(j, i)].as_ref().expect("upper block computed"))
+        })
+    });
+    let blocks: Vec<CsrMatrix<S::Out>> = upper
+        .into_iter()
+        .zip(mirrored)
+        .map(|(up, low)| up.or(low).expect("every rank owns a block"))
+        .collect();
+
+    DistMat2D::from_blocks(grid, a.nrows(), a.nrows(), blocks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::semiring::{MinPlusNum, PlusTimes};
     use crate::spgemm::local_spgemm;
     use crate::triples::Triples;
+    use dibella_dist::collectives::{p2p_messages_key, p2p_words_key};
     use dibella_dist::ProcessGrid;
     use proptest::prelude::*;
 
@@ -408,6 +567,205 @@ mod tests {
     }
 
     #[test]
+    fn summa_aat_sym_is_bit_identical_to_summa_abt_on_paper_grids() {
+        let at = random_triples(19, 14, 90, 41);
+        for p in [1usize, 4, 9, 16] {
+            let grid = ProcessGrid::square(p);
+            let a = DistMat2D::from_triples(grid, &at);
+            let stats_sym = CommStats::new();
+            let sym = summa_aat_sym::<PlusTimes<i64>>(&a, &stats_sym, CommPhase::OverlapDetection);
+            let stats_abt = CommStats::new();
+            let general =
+                summa_abt::<PlusTimes<i64>>(&a, &a, &stats_abt, CommPhase::OverlapDetection);
+            // Distributed equality: every block, bit for bit.
+            assert_eq!(sym, general, "P={p}");
+        }
+    }
+
+    #[test]
+    fn summa_aat_sym_is_deterministic_across_thread_counts() {
+        let at = random_triples(21, 16, 110, 43);
+        let grid = ProcessGrid::square(9);
+        let a = DistMat2D::from_triples(grid, &at);
+        let reference = rayon::pool::with_thread_limit(1, || {
+            summa_aat_sym::<PlusTimes<i64>>(&a, &CommStats::new(), CommPhase::Other)
+        });
+        for threads in [2usize, 4, 8] {
+            let got = rayon::pool::with_thread_limit(threads, || {
+                summa_aat_sym::<PlusTimes<i64>>(&a, &CommStats::new(), CommPhase::Other)
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn summa_aat_sym_flops_are_half_the_general_path_and_grid_independent() {
+        let at = random_triples(24, 18, 160, 45);
+        let mut sym_flops = Vec::new();
+        let mut general_flops = 0;
+        for p in [1usize, 4, 9, 16] {
+            let grid = ProcessGrid::square(p);
+            let a = DistMat2D::from_triples(grid, &at);
+            let stats = CommStats::new();
+            let _ = summa_aat_sym::<PlusTimes<i64>>(&a, &stats, CommPhase::Other);
+            sym_flops.push(stats.extra(&flops_key(CommPhase::Other)));
+            let stats_abt = CommStats::new();
+            let _ = summa_abt::<PlusTimes<i64>>(&a, &a, &stats_abt, CommPhase::Other);
+            general_flops = stats_abt.extra(&flops_key(CommPhase::Other));
+        }
+        assert!(sym_flops[0] > 0);
+        for (i, &f) in sym_flops.iter().enumerate() {
+            assert_eq!(f, sym_flops[0], "useful flops must not depend on the grid (case {i})");
+        }
+        // The upper triangle holds half the products plus the diagonal:
+        // general = 2·sym − diag, so sym is ~half and never more than
+        // (general + diag)/2.
+        assert!(sym_flops[0] < general_flops, "symmetric path must do less work");
+        assert!(
+            sym_flops[0] <= general_flops / 2 + general_flops / 8,
+            "expected ~half the flops: sym={} general={general_flops}",
+            sym_flops[0]
+        );
+        assert!(2 * sym_flops[0] >= general_flops, "upper triangle covers every product once");
+    }
+
+    #[test]
+    fn summa_aat_sym_single_rank_has_zero_communication() {
+        let grid = ProcessGrid::square(1);
+        let a = DistMat2D::from_triples(grid, &random_triples(12, 9, 40, 47));
+        let stats = CommStats::new();
+        let _ = summa_aat_sym::<PlusTimes<i64>>(&a, &stats, CommPhase::OverlapDetection);
+        assert_eq!(stats.words(CommPhase::OverlapDetection), 0);
+        assert_eq!(stats.messages(CommPhase::OverlapDetection), 0);
+        assert_eq!(stats.extra(&p2p_messages_key(CommPhase::OverlapDetection)), 0);
+    }
+
+    #[test]
+    fn summa_aat_sym_accounts_the_cross_diagonal_exchange() {
+        // Dense-ish A so every upper block of C is non-empty: the exchange
+        // must show exactly (P − √P)/2 point-to-point messages, and the
+        // broadcast volume must be half the general path's.
+        let at = random_triples(20, 20, 300, 49);
+        for (p, side) in [(4usize, 2u64), (9, 3), (16, 4)] {
+            let grid = ProcessGrid::square(p);
+            let a = DistMat2D::from_triples(grid, &at);
+            let stats_sym = CommStats::new();
+            let c = summa_aat_sym_with_words::<PlusTimes<i64>>(
+                &a,
+                &stats_sym,
+                CommPhase::OverlapDetection,
+                2,
+                3,
+            );
+            let stats_abt = CommStats::new();
+            let _ = summa_abt_with_words::<PlusTimes<i64>>(
+                &a,
+                &a,
+                &stats_abt,
+                CommPhase::OverlapDetection,
+                2,
+                2,
+            );
+            let p2p_msgs = stats_sym.extra(&p2p_messages_key(CommPhase::OverlapDetection));
+            let p2p_words = stats_sym.extra(&p2p_words_key(CommPhase::OverlapDetection));
+            assert_eq!(p2p_msgs, (p as u64 - side) / 2, "P={p}");
+            // Exchanged words = nnz of the strictly-upper off-diagonal blocks
+            // times the per-entry word cost.
+            let mut upper_nnz = 0u64;
+            for i in 0..grid.rows() {
+                for j in (i + 1)..grid.cols() {
+                    upper_nnz += c.block_nnz(i, j) as u64;
+                }
+            }
+            assert_eq!(p2p_words, upper_nnz * 3, "P={p}");
+            // Broadcast traffic (phase totals minus the p2p share) is half
+            // the general path's, in words and messages.
+            let sym_bcast_words = stats_sym.words(CommPhase::OverlapDetection) - p2p_words;
+            let sym_bcast_msgs = stats_sym.messages(CommPhase::OverlapDetection) - p2p_msgs;
+            assert_eq!(sym_bcast_words * 2, stats_abt.words(CommPhase::OverlapDetection));
+            assert_eq!(sym_bcast_msgs * 2, stats_abt.messages(CommPhase::OverlapDetection));
+        }
+    }
+
+    #[test]
+    fn summa_accounting_matches_the_closed_form() {
+        // With empty blocks still posting their (collective) broadcasts, the
+        // accounted totals have data-independent closed forms: for a side-s
+        // grid, messages = 2·s²·(s−1)·[per stage] = 2·s²·(s−1) summed over
+        // the s stages... i.e. s stages × 2·s·(s−1) messages, and words =
+        // (s−1)·(nnz(A)·aw + nnz(B)·bw).
+        let at = random_triples(17, 13, 70, 51);
+        let bt = random_triples(13, 11, 55, 52);
+        let (aw, bw) = (3u64, 5u64);
+        for side in [1usize, 2, 3] {
+            let grid = ProcessGrid::square(side * side);
+            let a = DistMat2D::from_triples(grid, &at);
+            let b = DistMat2D::from_triples(grid, &bt);
+            let stats = CommStats::new();
+            let _ = summa_with_words::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other, aw, bw);
+            let s = side as u64;
+            assert_eq!(
+                stats.words(CommPhase::Other),
+                (s - 1) * (at.nnz() as u64 * aw + bt.nnz() as u64 * bw),
+                "side={side}"
+            );
+            assert_eq!(stats.messages(CommPhase::Other), s * 2 * s * (s - 1), "side={side}");
+        }
+    }
+
+    #[test]
+    fn summa_abt_accounting_matches_the_closed_form() {
+        // The regression pinning the rows()/cols() symbol fix: same closed
+        // form as [`summa_accounting_matches_the_closed_form`] — the B-side
+        // loop must enumerate grid columns and broadcast to grid-row-many
+        // members, which on today's square grids is only distinguishable by
+        // this totals check staying exact.
+        let at = random_triples(15, 12, 60, 53);
+        let bt = random_triples(14, 12, 50, 54);
+        let (aw, bw) = (2u64, 7u64);
+        for side in [1usize, 2, 3, 4] {
+            let grid = ProcessGrid::square(side * side);
+            let a = DistMat2D::from_triples(grid, &at);
+            let b = DistMat2D::from_triples(grid, &bt);
+            let stats = CommStats::new();
+            let _ =
+                summa_abt_with_words::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other, aw, bw);
+            let s = side as u64;
+            assert_eq!(
+                stats.words(CommPhase::Other),
+                (s - 1) * (at.nnz() as u64 * aw + bt.nnz() as u64 * bw),
+                "side={side}"
+            );
+            assert_eq!(stats.messages(CommPhase::Other), s * 2 * s * (s - 1), "side={side}");
+        }
+    }
+
+    #[test]
+    fn empty_blocks_still_post_their_broadcasts() {
+        // The accounting decision, pinned: broadcasts are collectives, so an
+        // all-zero operand records its full closed-form message count and
+        // zero words (point-to-point sends, by contrast, skip empty buffers —
+        // see the collectives tests).
+        let grid = ProcessGrid::square(9);
+        let a = DistMat2D::<i64>::zero(grid, 12, 12);
+        let b = DistMat2D::<i64>::zero(grid, 12, 12);
+        let stats = CommStats::new();
+        let _ = summa::<PlusTimes<i64>>(&a, &b, &stats, CommPhase::Other);
+        assert_eq!(stats.words(CommPhase::Other), 0);
+        assert_eq!(stats.messages(CommPhase::Other), 3 * 2 * 3 * 2);
+        let stats_abt = CommStats::new();
+        let _ = summa_abt::<PlusTimes<i64>>(&a, &b, &stats_abt, CommPhase::Other);
+        assert_eq!(stats_abt.messages(CommPhase::Other), 3 * 2 * 3 * 2);
+        // The symmetric path's empty exchange ships nothing at all.
+        let stats_sym = CommStats::new();
+        let _ = summa_aat_sym::<PlusTimes<i64>>(&a, &stats_sym, CommPhase::Other);
+        assert_eq!(stats_sym.words(CommPhase::Other), 0);
+        // Half the general path's broadcasts: s·(s−1) per stage × s stages.
+        assert_eq!(stats_sym.messages(CommPhase::Other), 3 * 2 * 3);
+        assert_eq!(stats_sym.extra(&p2p_messages_key(CommPhase::Other)), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "square process grid")]
     fn summa_rejects_non_square_grid() {
         let grid = ProcessGrid::new(1, 2);
@@ -460,6 +818,22 @@ mod tests {
                 &CsrMatrix::from_triples(&bt),
             );
             prop_assert_eq!(c.to_local_csr(), local);
+        }
+
+        #[test]
+        fn prop_summa_aat_sym_equals_summa_abt(
+            seed in 0u64..1000,
+            grid_side in 1usize..5,
+            n in 6usize..20,
+            m in 6usize..18,
+        ) {
+            let at = random_triples(n, m, (n * m / 3).max(1), seed);
+            let grid = ProcessGrid::square(grid_side * grid_side);
+            let a = DistMat2D::from_triples(grid, &at);
+            let sym = summa_aat_sym::<PlusTimes<i64>>(&a, &CommStats::new(), CommPhase::Other);
+            let general =
+                summa_abt::<PlusTimes<i64>>(&a, &a, &CommStats::new(), CommPhase::Other);
+            prop_assert_eq!(sym, general);
         }
 
         #[test]

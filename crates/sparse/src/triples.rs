@@ -85,7 +85,7 @@ impl<T> Triples<T> {
 
     /// Sort entries by `(row, col)`.
     pub fn sort(&mut self) {
-        self.entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_by_key(|a| (a.0, a.1));
     }
 
     /// Sort by `(row, col)` and merge duplicate coordinates with `combine`.

@@ -551,11 +551,11 @@ pub fn consensus_contig(
     aligned_bases += first.len();
     graph.thread_backbone(first.codes());
 
-    for step in 1..contig.reads.len() {
+    for (step, &orientation) in orientations.iter().enumerate().skip(1) {
         let edge = s
             .get(contig.reads[step - 1], contig.reads[step])
             .expect("contig layouts walk existing string-graph edges");
-        let seq = oriented(step, orientations[step]);
+        let seq = oriented(step, orientation);
         aligned_bases += seq.len();
         let band = config.band_for(seq.len());
 

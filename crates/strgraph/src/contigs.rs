@@ -77,7 +77,7 @@ pub fn extract_contigs(s: &CsrMatrix<OverlapEdge>, read_lengths: &[usize]) -> Ve
                     continue;
                 }
                 let dir = e.direction();
-                if prev_dir.map_or(true, |p: dibella_align::BidirectedDir| p.chains_with(dir)) {
+                if prev_dir.is_none_or(|p: dibella_align::BidirectedDir| p.chains_with(dir)) {
                     next = Some((*w, *e));
                     break;
                 }

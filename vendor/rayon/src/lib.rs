@@ -81,6 +81,7 @@ impl<S: Send> ParSource<S> {
     }
 
     /// Pair every item with its source index.
+    #[allow(clippy::type_complexity)]
     pub fn enumerate(self) -> ParIter<S, (usize, S), impl Fn(usize, S) -> Option<(usize, S)> + Sync>
     {
         ParIter { items: self.items, f: |i, s| Some((i, s)) }
@@ -127,6 +128,7 @@ impl<S: Send, T: Send, F: Fn(usize, S) -> Option<T> + Sync> ParIter<S, T, F> {
 
     /// Pair every surviving item with its **source** index (valid straight
     /// after the source, matching rayon's indexed-iterator contract).
+    #[allow(clippy::type_complexity)]
     pub fn enumerate(self) -> ParIter<S, (usize, T), impl Fn(usize, S) -> Option<(usize, T)> + Sync>
     {
         let f = self.f;
