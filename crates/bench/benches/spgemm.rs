@@ -133,7 +133,7 @@ fn prerefactor_summa_aat(
                 if a_block.is_empty() || b_block.is_empty() {
                     continue;
                 }
-                for r in 0..out_rows {
+                for (r, slot) in partial.iter_mut().enumerate() {
                     let mut acc: HashMap<usize, CommonKmers> = HashMap::new();
                     for (kk, aval) in a_block.row(r) {
                         for (jj, bval) in b_block.row(kk) {
@@ -156,11 +156,10 @@ fn prerefactor_summa_aat(
                     if new_row.is_empty() {
                         continue;
                     }
-                    if partial[r].is_empty() {
-                        partial[r] = new_row;
+                    if slot.is_empty() {
+                        *slot = new_row;
                     } else {
-                        partial[r] =
-                            merge_rows::<OverlapSemiring>(std::mem::take(&mut partial[r]), new_row);
+                        *slot = merge_rows::<OverlapSemiring>(std::mem::take(slot), new_row);
                     }
                 }
             }

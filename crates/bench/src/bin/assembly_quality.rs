@@ -4,19 +4,25 @@
 //! the reproduction can be scored like an assembler.  This harness simulates
 //! a dataset from a known reference, runs the full diBELLA 2D pipeline
 //! (overlap → layout → consensus), evaluates the consensus against the
-//! reference with `dibella_strgraph::metrics`, prints the report and writes
-//! the machine-readable trajectory record `BENCH_assembly.json` (CI runs this
-//! at every push and uploads the artifact next to `BENCH_spgemm.json`).
+//! reference with `dibella_strgraph::metrics`, then runs the **adversarial
+//! scenario matrix** (repeat traps, chimeras, metagenome mix, circular
+//! genome — see DESIGN.md "Adversarial scenario suite"), prints the reports
+//! and writes the machine-readable trajectory record `BENCH_assembly.json`
+//! (CI runs this at every push and uploads the artifact next to
+//! `BENCH_spgemm.json`).
 //!
 //! ```bash
 //! cargo run --release -p dibella-bench --bin assembly_quality
 //! DIBELLA_ASSEMBLY_OUT=/tmp/out.json cargo run --release -p dibella-bench --bin assembly_quality
+//! DIBELLA_SCENARIO_PRESET=fast cargo run --release -p dibella-bench --bin assembly_quality
 //! ```
 
 use dibella_bench::{fmt, print_header, print_row};
 use dibella_dist::CommStats;
-use dibella_pipeline::{run_dibella_2d_on_reads, PipelineConfig};
-use dibella_seq::simulate::{generate_genome, simulate_reads, GenomeConfig, ReadSimConfig};
+use dibella_pipeline::{run_dibella_2d_on_reads, run_scenario, PipelineConfig, ScenarioSpec};
+use dibella_seq::simulate::{
+    generate_genome, simulate_reads, GenomeConfig, ReadSimConfig, Topology,
+};
 use dibella_seq::SimulatedDataset;
 use dibella_strgraph::evaluate_assembly;
 
@@ -43,13 +49,17 @@ fn evaluation_dataset(genome_length: usize) -> SimulatedDataset {
         read_length_sd: 100,
         error_rate: 0.05,
         seed: 72,
+        ..ReadSimConfig::default()
     };
     let (reads, origins) = simulate_reads(&genome, &config);
+    let num_reads = reads.len();
     SimulatedDataset {
         label: "assembly eval (20 kbp)".to_string(),
         genome,
         reads,
         origins,
+        chimeric: vec![false; num_reads],
+        topology: Topology::Linear,
         config,
     }
 }
@@ -102,6 +112,69 @@ fn main() {
         out.consensus_summary.consensus_bases
     );
 
+    // The adversarial scenario matrix.  `DIBELLA_SCENARIO_PRESET` picks the
+    // suite: "bench" (default; what the committed BENCH_assembly.json holds)
+    // or "fast" (CI smoke subset: ~8 kb genomes, 600 bp reads).
+    let preset = std::env::var("DIBELLA_SCENARIO_PRESET").unwrap_or_else(|_| "bench".to_string());
+    let suite = match preset.as_str() {
+        "fast" => ScenarioSpec::fast_suite(),
+        _ => ScenarioSpec::bench_suite(),
+    };
+    println!("\nAdversarial scenario matrix ({preset} preset)\n");
+    print_header(&["scenario", "reads", "contigs", "NG50", "identity", "misjoin", "chim.brk"]);
+    let mut scenario_json = Vec::new();
+    let scenarios_started = std::time::Instant::now();
+    for spec in &suite {
+        let r = run_scenario(spec);
+        print_row(&[
+            r.scenario.clone(),
+            r.reads.to_string(),
+            r.multi_read_contigs.to_string(),
+            r.ng50.to_string(),
+            fmt(r.mean_identity),
+            r.misjoins.to_string(),
+            r.chimera_breaks.to_string(),
+        ]);
+        scenario_json.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{scenario}\",\n",
+                "      \"genome_length\": {genome_length},\n",
+                "      \"reads\": {reads},\n",
+                "      \"chimeric_reads\": {chimeric},\n",
+                "      \"depth\": {depth:.2},\n",
+                "      \"contigs\": {contigs},\n",
+                "      \"multi_read_contigs\": {multi},\n",
+                "      \"circular_contigs\": {circular},\n",
+                "      \"assembled_bases\": {assembled},\n",
+                "      \"largest_contig\": {largest},\n",
+                "      \"n50\": {n50},\n",
+                "      \"ng50\": {ng50},\n",
+                "      \"mean_identity\": {identity:.5},\n",
+                "      \"misjoins\": {misjoins},\n",
+                "      \"chimera_breaks\": {chimera_breaks}\n",
+                "    }}"
+            ),
+            scenario = r.scenario,
+            genome_length = r.genome_length,
+            reads = r.reads,
+            chimeric = r.chimeric_reads,
+            depth = r.depth,
+            contigs = r.contigs,
+            multi = r.multi_read_contigs,
+            circular = r.circular_contigs,
+            assembled = r.assembled_bases,
+            largest = r.largest_contig,
+            n50 = r.n50,
+            ng50 = r.ng50,
+            identity = r.mean_identity,
+            misjoins = r.misjoins,
+            chimera_breaks = r.chimera_breaks,
+        ));
+    }
+    let scenarios_secs = scenarios_started.elapsed().as_secs_f64();
+    println!("\nscenario matrix: {} scenarios in {:.2}s", suite.len(), scenarios_secs);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -123,7 +196,10 @@ fn main() {
             "  \"poa_aligned_bases\": {aligned_bases},\n",
             "  \"consensus_bases\": {consensus_bases},\n",
             "  \"consensus_secs\": {consensus_secs:.4},\n",
-            "  \"pipeline_secs\": {pipeline_secs:.4}\n",
+            "  \"pipeline_secs\": {pipeline_secs:.4},\n",
+            "  \"scenario_preset\": \"{preset}\",\n",
+            "  \"scenario_matrix_secs\": {scenarios_secs:.4},\n",
+            "  \"scenarios\": [\n{scenarios}\n  ]\n",
             "}}\n"
         ),
         dataset = ds.label,
@@ -145,6 +221,9 @@ fn main() {
         consensus_bases = out.consensus_summary.consensus_bases,
         consensus_secs = out.timings.consensus,
         pipeline_secs = pipeline_secs,
+        preset = preset,
+        scenarios_secs = scenarios_secs,
+        scenarios = scenario_json.join(",\n"),
     );
     // Default to the workspace root (the binary's cwd is the package dir);
     // DIBELLA_ASSEMBLY_OUT overrides.

@@ -249,6 +249,6 @@ mod tests {
     fn formatting_helpers_do_not_panic() {
         print_header(&["a", "b"]);
         print_row(&[fmt(0.0), fmt(123.456)]);
-        print_row(&[fmt(0.001234), fmt(3.14159)]);
+        print_row(&[fmt(0.001234), fmt(12.5)]);
     }
 }

@@ -34,11 +34,13 @@ pub mod comm_model;
 pub mod config;
 pub mod run1d;
 pub mod run2d;
+pub mod scenario;
 pub mod timings;
 
 pub use comm_model::{CommModel, ModelParams};
 pub use config::PipelineConfig;
 pub use run1d::{run_dibella_1d, Pipeline1dOutput};
+pub use scenario::{run_scenario, run_scenario_matrix, ScenarioReport, ScenarioSpec};
 pub use run2d::{
     run_dibella_2d, run_dibella_2d_fastq, run_dibella_2d_on_reads, ConsensusSummary,
     Pipeline2dOutput,

@@ -191,7 +191,7 @@ pub fn run_dibella_2d_on_reads(
     // consensus per contig on the work-stealing pool, closing the OLC loop.
     let ((contigs, consensus), t_consensus) = timed(|| {
         let s_local = tr.string_matrix.to_local_csr();
-        let lengths: Vec<usize> = (0..reads.len()).map(|i| reads.seq(i).len()).collect();
+        let lengths = reads.lengths();
         let contigs = extract_contigs(&s_local, &lengths);
         let consensus = par_ranks(contigs.len(), |i| {
             consensus_contig(&contigs[i], &s_local, reads, &config.consensus)
@@ -369,7 +369,7 @@ mod tests {
         let out = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
         let graph = BidirectedGraph::from_dist_matrix(&out.string_matrix);
         assert_eq!(graph.num_vertices(), ds.reads.len());
-        let lengths: Vec<usize> = (0..ds.reads.len()).map(|i| ds.reads.seq(i).len()).collect();
+        let lengths = ds.reads.lengths();
         let contigs = extract_contigs(&out.string_matrix.to_local_csr(), &lengths);
         assert!(!contigs.is_empty());
         let largest = &contigs[0];

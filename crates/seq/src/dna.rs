@@ -154,6 +154,15 @@ impl DnaSeq {
         Self { codes }
     }
 
+    /// This sequence followed by `other` (cloned) — e.g. joining the two
+    /// segments of a simulated chimeric read.
+    pub fn concat(&self, other: &DnaSeq) -> DnaSeq {
+        let mut codes = Vec::with_capacity(self.len() + other.len());
+        codes.extend_from_slice(&self.codes);
+        codes.extend_from_slice(&other.codes);
+        DnaSeq { codes }
+    }
+
     /// The sequence in the given orientation (cloned).
     pub fn oriented(&self, strand: Strand) -> DnaSeq {
         match strand {
@@ -238,6 +247,15 @@ mod tests {
             assert_eq!(packed.len(), len.div_ceil(4));
             assert_eq!(DnaSeq::from_packed(&packed, len), seq);
         }
+    }
+
+    #[test]
+    fn concat_joins_sequences() {
+        let a: DnaSeq = "ACGT".parse().unwrap();
+        let b: DnaSeq = "TT".parse().unwrap();
+        assert_eq!(a.concat(&b).to_ascii(), "ACGTTT");
+        assert_eq!(a.concat(&DnaSeq::new()), a);
+        assert_eq!(DnaSeq::new().concat(&b), b);
     }
 
     #[test]

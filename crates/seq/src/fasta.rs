@@ -84,6 +84,12 @@ impl ReadSet {
         self.records.iter().enumerate()
     }
 
+    /// The length of every read, in index order — the layout-length input of
+    /// `extract_contigs` and the scenario runner.
+    pub fn lengths(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.seq.len()).collect()
+    }
+
     /// Total number of bases across all reads (`n·l` in the paper's notation).
     pub fn total_bases(&self) -> usize {
         self.records.iter().map(|r| r.seq.len()).sum()
@@ -398,6 +404,8 @@ mod tests {
         let reads = parse_fasta(SAMPLE).unwrap();
         assert_eq!(reads.total_bases(), 8 + 4 + 1);
         assert!((reads.mean_read_length() - 13.0 / 3.0).abs() < 1e-9);
+        assert_eq!(reads.lengths(), vec![8, 4, 1]);
+        assert_eq!(ReadSet::new().lengths(), Vec::<usize>::new());
     }
 
     const FASTQ: &str = "@read1 instrument=x\nACGT\n+\nII5I\n@read2\nTTTTT\n+read2\n!!!!!\n";

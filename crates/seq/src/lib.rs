@@ -37,4 +37,7 @@ pub use fasta::{
 };
 pub use kmer::{CanonicalKmer, Kmer, KmerIter};
 pub use kmer_counter::{count_kmers_distributed, count_kmers_serial, KmerSelection, KmerTable};
-pub use simulate::{DatasetSpec, ReadSimConfig, SimulatedDataset};
+pub use simulate::{
+    build_scenario, DatasetSpec, LengthModel, ReadSimConfig, ScenarioKind, ScenarioParams,
+    SimulatedDataset, Topology,
+};

@@ -428,7 +428,7 @@ mod tests {
         let grid = ProcessGrid::square(4);
         let via_triples = DistMat2D::from_triples(grid, &sample_triples());
         let blocks: Vec<CsrMatrix<i64>> =
-            via_triples.blocks().iter().map(|b| b.clone()).collect();
+            via_triples.blocks().to_vec();
         let rebuilt = DistMat2D::from_blocks(grid, 6, 6, blocks);
         assert_eq!(rebuilt, via_triples);
     }

@@ -640,6 +640,7 @@ mod tests {
         let contig = Contig {
             reads: (0..n).collect(),
             estimated_length: read_len + (n - 1) * step,
+            circular: false,
         };
         (contig, CsrMatrix::from_triples(&triples), reads)
     }
@@ -651,7 +652,7 @@ mod tests {
         let mut reads = ReadSet::new();
         reads.push(ReadRecord { name: "only".into(), seq: seq.clone() });
         let s = CsrMatrix::zero(1, 1);
-        let contig = Contig { reads: vec![0], estimated_length: 300 };
+        let contig = Contig { reads: vec![0], estimated_length: 300, circular: false };
         let out = consensus_contig(&contig, &s, &reads, &ConsensusConfig::default());
         assert_eq!(out.consensus, seq);
         assert_eq!(out.reads, 1);
@@ -706,7 +707,7 @@ mod tests {
         t.push(0, 1, OverlapEdge { dir: 0b10, suffix: 300, score: 300, overlap_len: 300 });
         t.push(1, 0, OverlapEdge { dir: 0b10, suffix: 300, score: 300, overlap_len: 300 });
         let s = CsrMatrix::from_triples(&t);
-        let contig = Contig { reads: vec![0, 1], estimated_length: 900 };
+        let contig = Contig { reads: vec![0, 1], estimated_length: 900, circular: false };
         let out = consensus_contig(&contig, &s, &reads, &ConsensusConfig::default());
         assert_eq!(out.consensus, genome, "reverse-strand read must be flipped before threading");
     }
@@ -768,7 +769,7 @@ mod tests {
             t.push(i + 1, i, OverlapEdge { dir: 0b00, ..e });
         }
         let s = CsrMatrix::from_triples(&t);
-        let contig = Contig { reads: vec![0, 1, 2, 3], estimated_length: 400 };
+        let contig = Contig { reads: vec![0, 1, 2, 3], estimated_length: 400, circular: false };
         let out = consensus_contig(&contig, &s, &reads, &ConsensusConfig::default());
         assert_eq!(out.consensus, base, "majority vote must win the branch");
     }

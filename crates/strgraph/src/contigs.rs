@@ -22,6 +22,11 @@ pub struct Contig {
     /// Estimated contig length: the first read's length plus the suffixes of
     /// every subsequent edge (the definition of the string-graph walk).
     pub estimated_length: usize,
+    /// Whether the walk closes back on its first read — the layout of a
+    /// circular replicon (plasmid, bacterial chromosome).  The linearised
+    /// layout is where the circle was cut; evaluation on circular references
+    /// must not count the cut as a misjoin.
+    pub circular: bool,
 }
 
 impl Contig {
@@ -61,7 +66,11 @@ pub fn extract_contigs(s: &CsrMatrix<OverlapEdge>, read_lengths: &[usize]) -> Ve
             // Branching vertices are emitted as their own (unresolved) contig
             // seed; a full assembler would resolve them with read depth.
             visited[start] = true;
-            contigs.push(Contig { reads: vec![start], estimated_length: read_lengths[start] });
+            contigs.push(Contig {
+                reads: vec![start],
+                estimated_length: read_lengths[start],
+                circular: false,
+            });
             continue;
         }
         visited[start] = true;
@@ -89,7 +98,16 @@ pub fn extract_contigs(s: &CsrMatrix<OverlapEdge>, read_lengths: &[usize]) -> Ve
             prev_dir = Some(e.direction());
             current = w;
         }
-        contigs.push(Contig { reads, estimated_length: length });
+        // The walk is circular if its last read chains back onto its first:
+        // the cycle sweep linearised a closed loop at an arbitrary cut point.
+        let circular = reads.len() > 2
+            && prev_dir.is_some_and(|p: dibella_align::BidirectedDir| {
+                graph
+                    .neighbors(current)
+                    .iter()
+                    .any(|(w, e)| *w == start && p.chains_with(e.direction()))
+            });
+        contigs.push(Contig { reads, estimated_length: length, circular });
     }
     contigs.sort_by_key(|c| std::cmp::Reverse(c.reads.len()));
     contigs
@@ -112,6 +130,7 @@ mod tests {
         let (s, _) = myers_transitive_reduction(&r, 60);
         let contigs = extract_contigs(&s, &lengths(n, 3));
         assert_eq!(contigs[0].reads.len(), n, "the tiling should collapse into one contig");
+        assert!(!contigs[0].circular, "a linear chain must not be flagged circular");
         // Reads must appear in tiling order (or its reverse).
         let mut reads = contigs[0].reads.clone();
         if reads[0] > *reads.last().unwrap() {
@@ -177,6 +196,7 @@ mod tests {
         let contigs = extract_contigs(&s, &vec![3 * TILING_STEP; n]);
         assert_eq!(contigs.len(), 1, "a simple cycle is one contig: {contigs:?}");
         assert_eq!(contigs[0].reads.len(), n);
+        assert!(contigs[0].circular, "the closed walk must be flagged circular");
         // The walk linearises the circle: first read plus n-1 suffixes (the
         // wrap-around edge is where the circle was cut).
         assert_eq!(contigs[0].estimated_length, 3 * TILING_STEP + (n - 1) * TILING_STEP);
@@ -210,10 +230,10 @@ mod tests {
         entries.push((5, 2, OverlapEdge { dir: 0b00, ..spur }));
         t = dibella_sparse::Triples::from_entries(6, 6, entries);
         let s = CsrMatrix::from_triples(&t);
-        let contigs = extract_contigs(&s, &vec![600; 6]);
+        let contigs = extract_contigs(&s, &[600; 6]);
 
         // Every read exactly once.
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for c in &contigs {
             for &r in &c.reads {
                 assert!(!seen[r], "read {r} in two contigs: {contigs:?}");
@@ -241,7 +261,7 @@ mod tests {
         let entries = triples.entries().to_vec();
         triples = dibella_sparse::Triples::from_entries(7, 7, entries);
         let s = CsrMatrix::from_triples(&triples);
-        let contigs = extract_contigs(&s, &vec![500; 7]);
+        let contigs = extract_contigs(&s, &[500; 7]);
         let singleton_count = contigs.iter().filter(|c| c.reads.len() == 1).count();
         assert!(singleton_count >= 2);
         assert_eq!(contigs.iter().map(|c| c.reads.len()).sum::<usize>(), 7);

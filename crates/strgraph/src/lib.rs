@@ -44,7 +44,10 @@ pub use consensus::{
     PoaGraph,
 };
 pub use contigs::{extract_contigs, Contig};
-pub use metrics::{evaluate_assembly, n50, ng50, AssemblyMetrics, ContigQuality};
+pub use metrics::{
+    evaluate_assembly, evaluate_assembly_truth, n50, ng50, AssemblyMetrics, ContigQuality,
+    GroundTruth,
+};
 pub use myers::myers_transitive_reduction;
 pub use sora::{sora_transitive_reduction, SoraStats};
 pub use transitive::{transitive_reduction, TransitiveReductionConfig, TrOutcome};

@@ -75,18 +75,20 @@ pub mod prelude {
     };
     pub use dibella_pipeline::{
         run_dibella_1d, run_dibella_2d, run_dibella_2d_fastq, run_dibella_2d_on_reads,
-        CommModel, ModelParams, PipelineConfig, StageTimings,
+        run_scenario, run_scenario_matrix, CommModel, ModelParams, PipelineConfig,
+        ScenarioReport, ScenarioSpec, StageTimings,
     };
     pub use dibella_seq::{
         parse_fasta, parse_fasta_file, parse_fastq, parse_fastq_file, parse_fastq_filtered,
-        write_fasta, DatasetSpec, DnaSeq, Kmer, KmerSelection, ReadSet, Strand,
+        write_fasta, DatasetSpec, DnaSeq, Kmer, KmerSelection, ReadSet, ScenarioKind,
+        ScenarioParams, Strand, Topology,
     };
     pub use dibella_sparse::{CsrMatrix, DistMat2D, Semiring, Triples};
     pub use dibella_strgraph::{
         banded_identity, consensus_contig, consensus_contigs, evaluate_assembly,
-        extract_contigs, myers_transitive_reduction, sora_transitive_reduction,
-        transitive_reduction, AssemblyMetrics, BidirectedGraph, ConsensusConfig,
-        TransitiveReductionConfig,
+        evaluate_assembly_truth, extract_contigs, myers_transitive_reduction,
+        sora_transitive_reduction, transitive_reduction, AssemblyMetrics, BidirectedGraph,
+        ConsensusConfig, GroundTruth, TransitiveReductionConfig,
     };
 }
 

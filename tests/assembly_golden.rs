@@ -26,6 +26,7 @@ fn golden_dataset() -> (dibella2d::seq::DnaSeq, ReadSet, Vec<dibella2d::seq::sim
         read_length_sd: 100,
         error_rate: 0.05,
         seed: 72,
+        ..ReadSimConfig::default()
     };
     let (reads, origins) = simulate_reads(&genome, &sim);
     (genome, reads, origins)

@@ -95,6 +95,7 @@ fn error_free_dataset_assembles_into_a_near_complete_contig() {
         read_length_sd: 150,
         error_rate: 0.0,
         seed: 9,
+        ..Default::default()
     };
     let (reads, origins) = dibella2d::seq::simulate::simulate_reads(&genome, &sim_cfg);
     ds.reads = reads;
@@ -104,7 +105,7 @@ fn error_free_dataset_assembles_into_a_near_complete_contig() {
     let comm = CommStats::new();
     let out = run_dibella_2d_on_reads(&ds.reads, &cfg, &comm);
 
-    let lengths: Vec<usize> = (0..ds.reads.len()).map(|i| ds.reads.seq(i).len()).collect();
+    let lengths = ds.reads.lengths();
     let contigs = extract_contigs(&out.string_matrix.to_local_csr(), &lengths);
     let largest = &contigs[0];
     assert!(
