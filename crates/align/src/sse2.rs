@@ -1,0 +1,476 @@
+//! SSE2 x-drop extension kernel: eight DP cells per `__m128i`.
+//!
+//! The hardware twin of the portable SWAR kernel in [`crate::simd`]: the same
+//! two-phase x-drop semantics and the same `i16` value-range argument
+//! ([`swar_eligible`]), but lanes live in 128-bit vector registers where every
+//! lane-parallel add/max/compare is **one instruction** instead of the five to
+//! eleven scalar ops the `u64` emulation pays.  SSE2 is part of the x86-64
+//! baseline ISA, so this path needs no runtime feature detection — the batched
+//! engine ([`crate::batch`]) dispatches here on every x86-64 build and falls
+//! back to the SWAR kernel elsewhere.
+//!
+//! Lane `t` of vector `w` holds column `8·w + t`; the row buffers are indexed
+//! by absolute vector, so the adaptive band just slides over them (the same
+//! NEG-fence invariant as the SWAR kernel).  `_mm_add_epi16` is wrapping, and
+//! the eligibility box keeps every intermediate inside `i16`, so wrapping adds
+//! are exact and the results are bit-identical to the scalar oracle — pinned
+//! by the proptests at the bottom of this file.
+
+use std::arch::x86_64::*;
+
+use crate::scoring::ScoringScheme;
+use crate::simd::{swar_eligible, NEG16};
+use crate::xdrop::{ExtendCounters, ExtendResult};
+
+const LANES: usize = 8;
+
+/// Rebase the relative scores into the `i32` base once the in-band best
+/// exceeds this (mirrors `crate::simd`).
+const REBASE_AT: i32 = 4096;
+
+#[inline(always)]
+fn splat(x: i16) -> __m128i {
+    unsafe { _mm_set1_epi16(x) }
+}
+
+#[inline(always)]
+fn add16(x: __m128i, y: __m128i) -> __m128i {
+    unsafe { _mm_add_epi16(x, y) }
+}
+
+#[inline(always)]
+fn sub16(x: __m128i, y: __m128i) -> __m128i {
+    unsafe { _mm_sub_epi16(x, y) }
+}
+
+#[inline(always)]
+fn max16(x: __m128i, y: __m128i) -> __m128i {
+    unsafe { _mm_max_epi16(x, y) }
+}
+
+/// Per-lane select: `mask` lanes all-ones take `y`, zero lanes take `x`.
+#[inline(always)]
+fn select16(mask: __m128i, x: __m128i, y: __m128i) -> __m128i {
+    unsafe { _mm_or_si128(_mm_andnot_si128(mask, x), _mm_and_si128(mask, y)) }
+}
+
+#[inline(always)]
+fn from_lanes(l: [i16; LANES]) -> __m128i {
+    unsafe { _mm_loadu_si128(l.as_ptr() as *const __m128i) }
+}
+
+/// Byte mask (two bits per lane) of lanes equal to `y`.
+#[inline(always)]
+fn eq_bytes(x: __m128i, y: __m128i) -> u32 {
+    unsafe { _mm_movemask_epi8(_mm_cmpeq_epi16(x, y)) as u32 }
+}
+
+/// Reusable vector buffers for the SSE2 kernel: the two row buffers plus the
+/// lazily built per-base equality tables of `b` (`eq[c * stride + w]` has
+/// all-ones in lane `t` iff `b[8w + t - 1] == c`).
+#[derive(Debug, Default)]
+pub struct Sse2Scratch {
+    prev: Vec<__m128i>,
+    cur: Vec<__m128i>,
+    eq: Vec<__m128i>,
+    eq_stride: usize,
+    eq_built: usize,
+}
+
+impl Sse2Scratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make sure equality-table vectors `0..vectors` are built for this call.
+    #[inline]
+    fn build_eq_to(&mut self, b: &[u8], vectors: usize) {
+        while self.eq_built < vectors {
+            let w = self.eq_built;
+            let mut packed = [[0i16; LANES]; 4];
+            // `t` picks the lane inside a data-dependent row of `packed`;
+            // no iterator form expresses that more clearly.
+            #[allow(clippy::needless_range_loop)]
+            for t in 0..LANES {
+                let j = w * LANES + t;
+                // Column j consumes b[j - 1]; j == 0 and j > b.len() lanes
+                // stay zero in all four tables (scored as mismatch, and those
+                // cells are dead/outside the window anyway).
+                if j >= 1 && j <= b.len() {
+                    packed[b[j - 1] as usize][t] = -1;
+                }
+            }
+            for (c, lanes) in packed.iter().enumerate() {
+                self.eq[c * self.eq_stride + w] = from_lanes(*lanes);
+            }
+            self.eq_built += 1;
+        }
+    }
+}
+
+/// Lane keep-masks by boundary offset: `KEEP_LO[o]` keeps lanes `>= o`,
+/// `KEEP_HI[o]` keeps lanes `<= o`.
+const fn keep_tables() -> ([[i16; LANES]; LANES], [[i16; LANES]; LANES]) {
+    let mut lo = [[0i16; LANES]; LANES];
+    let mut hi = [[0i16; LANES]; LANES];
+    let mut o = 0;
+    while o < LANES {
+        let mut t = 0;
+        while t < LANES {
+            lo[o][t] = if t >= o { -1 } else { 0 };
+            hi[o][t] = if t <= o { -1 } else { 0 };
+            t += 1;
+        }
+        o += 1;
+    }
+    (lo, hi)
+}
+static KEEP_LO: [[i16; LANES]; LANES] = keep_tables().0;
+static KEEP_HI: [[i16; LANES]; LANES] = keep_tables().1;
+
+/// SSE2 twin of [`crate::xdrop::xdrop_extend_with`]: same two-phase x-drop
+/// semantics, bit-identical [`ExtendResult`], eight cells per vector.
+///
+/// The caller must check [`swar_eligible`] first (the `i16` exactness box is
+/// the same for both vector kernels); the batched engine does this and falls
+/// back to the scalar oracle.
+pub fn xdrop_extend_sse2(
+    a: &[u8],
+    b: &[u8],
+    scoring: ScoringScheme,
+    xdrop: i32,
+    scratch: &mut Sse2Scratch,
+    counters: &mut ExtendCounters,
+) -> ExtendResult {
+    debug_assert!(swar_eligible(scoring, xdrop));
+    counters.calls += 1;
+    let m = b.len();
+    // Vectors covering columns 0..=m, plus one guard vector at the right so
+    // the row after a window ending at column m can still read a NEG vector.
+    let nv = m / LANES + 2;
+    let negv = splat(NEG16);
+    if scratch.prev.len() < nv {
+        scratch.prev.resize(nv, negv);
+        scratch.cur.resize(nv, negv);
+    }
+    if scratch.eq_stride < nv {
+        scratch.eq_stride = nv;
+        scratch.eq.clear();
+        scratch.eq.resize(4 * nv, unsafe { _mm_setzero_si128() });
+    }
+    scratch.eq_built = 0;
+
+    let gap1 = splat(scoring.gap as i16);
+    let gap2 = splat((2 * scoring.gap) as i16);
+    let gap4 = splat((4 * scoring.gap) as i16);
+    // Cross-vector scan carry ramp: lane t adds (t + 1) · gap to the carried
+    // run value from the previous vector.
+    let ramp = {
+        let mut l = [0i16; LANES];
+        for (t, v) in l.iter_mut().enumerate() {
+            *v = ((t as i32 + 1) * scoring.gap) as i16;
+        }
+        from_lanes(l)
+    };
+    let mism16 = splat(scoring.mismatch as i16);
+    // sub = (match & eq) | (mism & !eq) as two ops per vector.
+    let subdiff = splat((scoring.match_score ^ scoring.mismatch) as i16);
+
+    // Best score = base + best_rel; lanes store scores relative to `base`.
+    let mut base = 0i64;
+    let mut best_rel = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+
+    // Row 0: leading gaps in `a`; fills columns 0..=r0_hi (j·gap ≥ -xdrop).
+    let r0_width = ((xdrop / -scoring.gap) as usize + 1).min(m + 1);
+    let row0_we = (r0_width - 1) / LANES;
+    for w in 0..=row0_we {
+        let mut lanes = [NEG16; LANES];
+        for (t, v) in lanes.iter_mut().enumerate() {
+            let j = w * LANES + t;
+            if j < r0_width {
+                *v = (j as i32 * scoring.gap) as i16;
+            }
+        }
+        scratch.prev[w] = from_lanes(lanes);
+    }
+    scratch.prev[row0_we + 1] = negv;
+    counters.cells += r0_width as u64;
+    counters.band_peak = counters.band_peak.max(r0_width as u64);
+
+    // Live window [lo, hi] (absolute columns) of the previous row.
+    let mut lo = 0usize;
+    let mut hi = r0_width - 1;
+
+    for i in 1..=a.len() {
+        let wlo = lo;
+        let whi = (hi + 1).min(m);
+        let ws = wlo / LANES;
+        let we = whi / LANES;
+        // best_rel ≤ REBASE_AT and xdrop ≤ 3000, so this fits an i16 lane.
+        let thr = splat((best_rel - xdrop) as i16);
+        let ai = a[i - 1] as usize;
+        scratch.build_eq_to(b, we + 1);
+        let eq_row = &scratch.eq[ai * scratch.eq_stride..(ai + 1) * scratch.eq_stride];
+
+        // Keep masks for the boundary vectors: lanes outside [wlo, whi] must
+        // stay dead (a left-gap run can spill past the window's right edge).
+        let keep_lo = from_lanes(KEEP_LO[wlo - ws * LANES]);
+        let keep_hi = from_lanes(KEEP_HI[whi - we * LANES]);
+
+        // One fused pass: diag/up candidates, the left-gap prefix scan,
+        // thresholding and boundary masks, with the row maximum and the live
+        // vector extent folded in.  `carry` holds the pre-threshold run value
+        // of the last lane of the previous vector.
+        let mut carry: i16 = NEG16;
+        let mut rowmax = negv;
+        let mut first_w = usize::MAX;
+        let mut last_w = ws;
+        let mut pm1 = if ws == 0 { negv } else { scratch.prev[ws - 1] };
+        // The fused pass walks prev/cur/eq_row in lockstep and needs `w` for
+        // the boundary compares; an iterator zip would obscure, not help.
+        #[allow(clippy::needless_range_loop)]
+        for w in ws..=we {
+            let p = scratch.prev[w];
+            // Column 8w+t's diagonal neighbour is column 8w+t-1 of the
+            // previous row: shift the band left by one lane across vectors.
+            let diag_src =
+                unsafe { _mm_or_si128(_mm_slli_si128::<2>(p), _mm_srli_si128::<14>(pm1)) };
+            pm1 = p;
+            let sub = unsafe { _mm_xor_si128(mism16, _mm_and_si128(subdiff, eq_row[w])) };
+            let diag = add16(diag_src, sub);
+            let up = add16(p, gap1);
+            let tmp = max16(diag, up);
+
+            // Max-plus prefix scan for run[j] = max(tmp[j], run[j-1] + gap):
+            // three in-vector log-steps (shifting NEG16 into the vacated
+            // lanes), then the cross-vector carry via the ramp.
+            let mut v = tmp;
+            let s1 = unsafe { _mm_or_si128(_mm_slli_si128::<2>(v), _mm_srli_si128::<14>(negv)) };
+            v = max16(v, add16(s1, gap1));
+            let s2 = unsafe { _mm_or_si128(_mm_slli_si128::<4>(v), _mm_srli_si128::<12>(negv)) };
+            v = max16(v, add16(s2, gap2));
+            let s4 = unsafe { _mm_or_si128(_mm_slli_si128::<8>(v), _mm_srli_si128::<8>(negv)) };
+            v = max16(v, add16(s4, gap4));
+            v = max16(v, add16(splat(carry), ramp));
+            carry = unsafe { _mm_extract_epi16::<7>(v) as u16 as i16 };
+
+            // Two-phase x-drop test against the previous rows' best.
+            let dead = unsafe { _mm_cmplt_epi16(v, thr) };
+            let mut word = select16(dead, v, negv);
+            if w == ws {
+                word = select16(keep_lo, negv, word);
+            }
+            if w == we {
+                word = select16(keep_hi, negv, word);
+            }
+            scratch.cur[w] = word;
+            rowmax = max16(rowmax, word);
+            // Dead lanes hold the exact sentinel, so a vector with any live
+            // lane has a hole in its NEG16 equality byte-mask.
+            if eq_bytes(word, negv) != 0xFFFF {
+                if first_w == usize::MAX {
+                    first_w = w;
+                }
+                last_w = w;
+            }
+        }
+        // NEG fence vectors the next row's reads rely on.
+        scratch.cur[we + 1] = negv;
+        if ws > 0 {
+            scratch.cur[ws - 1] = negv;
+        }
+        counters.cells += (whi - wlo + 1) as u64;
+        counters.band_peak = counters.band_peak.max((whi - wlo + 1) as u64);
+
+        if first_w == usize::MAX {
+            counters.terminations += 1;
+            return ExtendResult {
+                score: (base + i64::from(best_rel)) as i32,
+                ext_a: best_i,
+                ext_b: best_j,
+            };
+        }
+
+        // Fold the finished row into the best (first attainment in column
+        // order), only when some lane strictly improves on it.  best_rel ≥ 0
+        // always, so an improving row maximum is positive and the zero lanes
+        // shifted into the horizontal fold cannot win.
+        let improved =
+            unsafe { _mm_movemask_epi8(_mm_cmpgt_epi16(rowmax, splat(best_rel as i16))) } != 0;
+        if improved {
+            let fold = max16(rowmax, unsafe { _mm_srli_si128::<8>(rowmax) });
+            let fold = max16(fold, unsafe { _mm_srli_si128::<4>(fold) });
+            let fold = max16(fold, unsafe { _mm_srli_si128::<2>(fold) });
+            let row_best = unsafe { _mm_extract_epi16::<0>(fold) as u16 as i16 as i32 };
+            let bestv = splat(row_best as i16);
+            for w in first_w..=last_w {
+                let hits = eq_bytes(scratch.cur[w], bestv);
+                if hits != 0 {
+                    best_rel = row_best;
+                    best_i = i;
+                    best_j = w * LANES + hits.trailing_zeros() as usize / 2;
+                    break;
+                }
+            }
+        }
+
+        // Trim: first/last live columns (lane != NEG16 ⇔ live — dead cells
+        // hold the exact sentinel), confined to the tracked boundary vectors.
+        let flive = !eq_bytes(scratch.cur[first_w], negv) & 0xFFFF;
+        let llive = !eq_bytes(scratch.cur[last_w], negv) & 0xFFFF;
+        lo = first_w * LANES + flive.trailing_zeros() as usize / 2;
+        hi = last_w * LANES + (31 - llive.leading_zeros()) as usize / 2;
+        std::mem::swap(&mut scratch.prev, &mut scratch.cur);
+
+        // Rebase before the relative scores can outgrow i16.
+        if best_rel > REBASE_AT {
+            let delta = best_rel;
+            let d16 = splat(delta as i16);
+            for w in lo / LANES..=hi / LANES {
+                let v = scratch.prev[w];
+                let is_dead = unsafe { _mm_cmpeq_epi16(v, negv) };
+                // Dead lanes must stay exactly at the sentinel.
+                scratch.prev[w] = select16(is_dead, sub16(v, d16), negv);
+            }
+            base += i64::from(delta);
+            best_rel = 0;
+        }
+    }
+    ExtendResult {
+        score: (base + i64::from(best_rel)) as i32,
+        ext_a: best_i,
+        ext_b: best_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xdrop::{xdrop_extend_with, XdropScratch};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sse2(a: &[u8], b: &[u8], sc: ScoringScheme, xdrop: i32) -> (ExtendResult, ExtendCounters) {
+        let mut scratch = Sse2Scratch::new();
+        let mut c = ExtendCounters::default();
+        let r = xdrop_extend_sse2(a, b, sc, xdrop, &mut scratch, &mut c);
+        (r, c)
+    }
+
+    fn scalar(a: &[u8], b: &[u8], sc: ScoringScheme, xdrop: i32) -> (ExtendResult, ExtendCounters) {
+        let mut scratch = XdropScratch::new();
+        let mut c = ExtendCounters::default();
+        let r = xdrop_extend_with(a, b, sc, xdrop, &mut scratch, &mut c);
+        (r, c)
+    }
+
+    #[test]
+    fn identical_sequences_match_scalar() {
+        let a: Vec<u8> = (0..100).map(|i| (i % 4) as u8).collect();
+        let sc = ScoringScheme::default();
+        assert_eq!(sse2(&a, &a, sc, 10).0, scalar(&a, &a, sc, 10).0);
+        assert_eq!(sse2(&a, &a, sc, 10).0.score, 100);
+    }
+
+    #[test]
+    fn counters_match_scalar() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let a: Vec<u8> = (0..300).map(|_| rng.gen_range(0..4u8)).collect();
+        let mut b = a.clone();
+        for idx in (0..b.len()).step_by(17) {
+            b[idx] = (b[idx] + 1) % 4;
+        }
+        let sc = ScoringScheme::default();
+        let (rs, cs) = sse2(&a, &b, sc, 30);
+        let (rr, cr) = scalar(&a, &b, sc, 30);
+        assert_eq!(rs, rr);
+        assert_eq!(cs, cr, "both engines walk the same adaptive band");
+    }
+
+    #[test]
+    fn long_perfect_match_crosses_the_i16_rebase_boundary() {
+        let a: Vec<u8> = (0..20_000).map(|i| ((i * 7 + 3) % 4) as u8).collect();
+        let sc = ScoringScheme { match_score: 3, mismatch: -2, gap: -2 };
+        let r = sse2(&a, &a, sc, 40).0;
+        assert_eq!(r, scalar(&a, &a, sc, 40).0);
+        assert_eq!(r.score, 60_000);
+        assert_eq!(r.ext_a, 20_000);
+    }
+
+    #[test]
+    fn near_saturation_with_noise_matches_scalar() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a: Vec<u8> = (0..8000).map(|_| rng.gen_range(0..4u8)).collect();
+        let mut b = a.clone();
+        for idx in (0..b.len()).step_by(40) {
+            b[idx] = (b[idx] + rng.gen_range(1..4u8)) % 4;
+        }
+        b.remove(1000);
+        b.insert(3000, 2);
+        let sc = ScoringScheme { match_score: 5, mismatch: -4, gap: -3 };
+        assert_eq!(sse2(&a, &b, sc, 200).0, scalar(&a, &b, sc, 200).0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        // The tentpole invariant, hardware edition: the SSE2 kernel and the
+        // scalar oracle are bit-identical over random sequences, scoring
+        // schemes and xdrops — results AND counters.
+        #[test]
+        fn sse2_matches_scalar_oracle(
+            seed in 0u64..1_000_000,
+            len_a in 0usize..400,
+            len_b in 0usize..400,
+            error_pct in 0u32..50,
+            match_score in 1i32..8,
+            mismatch in -8i32..=0,
+            gap in -8i32..=-1,
+            xdrop in 0i32..120,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a: Vec<u8> = (0..len_a).map(|_| rng.gen_range(0..4u8)).collect();
+            let mut b: Vec<u8> = a.iter().take(len_b).copied().collect();
+            while b.len() < len_b {
+                b.push(rng.gen_range(0..4u8));
+            }
+            for v in b.iter_mut() {
+                if rng.gen_range(0..100u32) < error_pct {
+                    *v = rng.gen_range(0..4u8);
+                }
+            }
+            let sc = ScoringScheme { match_score, mismatch, gap };
+            prop_assert!(swar_eligible(sc, xdrop));
+            let (rs, cs) = sse2(&a, &b, sc, xdrop);
+            let (rr, cr) = scalar(&a, &b, sc, xdrop);
+            prop_assert_eq!(rs, rr);
+            prop_assert_eq!(cs, cr);
+        }
+
+        // And against the portable SWAR kernel (three-way agreement).
+        #[test]
+        fn sse2_matches_swar(seed in 0u64..100_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut scratch = Sse2Scratch::new();
+            let mut swar_scratch = crate::simd::SwarScratch::new();
+            let sc = ScoringScheme::default();
+            for _ in 0..6 {
+                let la = rng.gen_range(0..250);
+                let lb = rng.gen_range(0..250);
+                let a: Vec<u8> = (0..la).map(|_| rng.gen_range(0..4u8)).collect();
+                let mut b: Vec<u8> = a.iter().take(lb).copied().collect();
+                while b.len() < lb { b.push(rng.gen_range(0..4u8)); }
+                let xdrop = rng.gen_range(0..60);
+                let mut c1 = ExtendCounters::default();
+                let mut c2 = ExtendCounters::default();
+                let rs = xdrop_extend_sse2(&a, &b, sc, xdrop, &mut scratch, &mut c1);
+                let rw = crate::simd::xdrop_extend_swar(&a, &b, sc, xdrop, &mut swar_scratch, &mut c2);
+                prop_assert_eq!(rs, rw);
+                prop_assert_eq!(c1, c2);
+            }
+        }
+    }
+}

@@ -7,6 +7,24 @@
 //! with the default linear-gap scoring the live band stays within roughly
 //! `2·xdrop` columns of the optimal path, so extension over a full long-read
 //! overlap costs `O(overlap · xdrop)`.
+//!
+//! ## Two-phase thresholding
+//!
+//! [`xdrop_extend`] evaluates the x-drop test against the best score of the
+//! *completed* rows: every cell of row `i` is thresholded against
+//! `best(rows < i) − xdrop`, and the best score is folded in once the row is
+//! finished.  This makes the per-row computation independent of evaluation
+//! order, which is what lets the SWAR kernel ([`crate::simd`]) process four
+//! cells per machine word while staying **bit-identical** to this scalar
+//! oracle.  (The earlier implementation updated `best` mid-row, so cells to
+//! the right of a new best were pruned slightly more aggressively; it is kept
+//! verbatim as [`xdrop_extend_baseline`] — the benchmark baseline.  The
+//! two-phase rule prunes a superset of the paths the row-sequential rule
+//! keeps, so it can only find equal-or-better extensions.)
+//!
+//! The double-buffered scratch ([`XdropScratch`]) makes the steady state
+//! allocation-free: the two row buffers are reused across every extension a
+//! worker performs.
 
 use crate::classify::PairAlignment;
 use crate::scoring::{AlignmentConfig, ScoringScheme};
@@ -24,9 +42,192 @@ pub struct ExtendResult {
     pub ext_b: usize,
 }
 
+/// Cell-level counters of the extension kernels, accumulated across calls.
+///
+/// Both the scalar oracle and the SWAR kernel count identically (they visit
+/// the same adaptive band), so the totals are engine- and thread-count
+/// independent; the batched aligner folds them into `CommStats` extras
+/// (`aligned_cells`, `band_width_peak`, `xdrop_terminations`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtendCounters {
+    /// DP cells evaluated (sum of live-band widths over all rows).
+    pub cells: u64,
+    /// Widest live band observed in any single row.
+    pub band_peak: u64,
+    /// Extensions stopped by the x-drop test before consuming all of `a`.
+    pub terminations: u64,
+    /// Extension calls performed.
+    pub calls: u64,
+}
+
+impl ExtendCounters {
+    /// Fold another counter set into this one (`band_peak` takes the max).
+    pub fn merge(&mut self, other: &ExtendCounters) {
+        self.cells += other.cells;
+        self.band_peak = self.band_peak.max(other.band_peak);
+        self.terminations += other.terminations;
+        self.calls += other.calls;
+    }
+}
+
+/// Reusable double buffer for the scalar x-drop row DP.
+///
+/// One scratch per worker keeps the steady state allocation-free: the two row
+/// buffers grow to the widest band ever seen and are then reused by every
+/// subsequent call.
+#[derive(Debug, Default)]
+pub struct XdropScratch {
+    prev: Vec<i32>,
+    cur: Vec<i32>,
+}
+
+impl XdropScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Sentinel for a pruned (dead) cell.
+const NEG: i32 = i32::MIN / 4;
+
 /// Extend an alignment from position 0 of `a` and `b` simultaneously, with a
 /// gapped x-drop dynamic program.  Returns the best-scoring end points.
+///
+/// Allocates a fresh scratch per call; batched callers use
+/// [`xdrop_extend_with`] to reuse buffers across calls.
 pub fn xdrop_extend(a: &[u8], b: &[u8], scoring: ScoringScheme, xdrop: i32) -> ExtendResult {
+    let mut scratch = XdropScratch::new();
+    let mut counters = ExtendCounters::default();
+    xdrop_extend_with(a, b, scoring, xdrop, &mut scratch, &mut counters)
+}
+
+/// [`xdrop_extend`] with caller-provided scratch and counters — the
+/// allocation-free form the batched aligner uses.  This is the **reference
+/// oracle** the SWAR kernel is proptested against.
+pub fn xdrop_extend_with(
+    a: &[u8],
+    b: &[u8],
+    scoring: ScoringScheme,
+    xdrop: i32,
+    scratch: &mut XdropScratch,
+    counters: &mut ExtendCounters,
+) -> ExtendResult {
+    counters.calls += 1;
+    let m = b.len();
+    let mut best = 0i32;
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+
+    // Row 0: leading gaps in `a`.  `best` stays 0 throughout the row (all
+    // scores are <= 0), so the threshold is simply -xdrop.
+    scratch.prev.clear();
+    {
+        let mut j = 0usize;
+        while j <= m {
+            let sc = j as i32 * scoring.gap;
+            if sc < -xdrop {
+                break;
+            }
+            scratch.prev.push(sc);
+            j += 1;
+        }
+    }
+    counters.cells += scratch.prev.len() as u64;
+    counters.band_peak = counters.band_peak.max(scratch.prev.len() as u64);
+    if scratch.prev.is_empty() {
+        return ExtendResult { score: 0, ext_a: 0, ext_b: 0 };
+    }
+
+    // The live column window is [lo, hi]; `prev[0]` holds column `lo`.
+    let mut lo = 0usize;
+    let mut hi = scratch.prev.len() - 1;
+
+    for i in 1..=a.len() {
+        let prev_lo = lo;
+        let prev_hi = hi;
+        // The live window can only extend one column right of the previous row.
+        let new_lo = prev_lo;
+        let new_hi = (prev_hi + 1).min(m);
+        let thr = best - xdrop;
+        let ai = a[i - 1];
+
+        scratch.cur.clear();
+        for j in new_lo..=new_hi {
+            let mut sc = NEG;
+            if j > prev_lo {
+                // j - 1 <= prev_hi holds because j <= prev_hi + 1.
+                let diag = scratch.prev[j - 1 - prev_lo];
+                if diag > NEG {
+                    let sub = if ai == b[j - 1] { scoring.match_score } else { scoring.mismatch };
+                    sc = sc.max(diag + sub);
+                }
+            }
+            if j <= prev_hi {
+                let up = scratch.prev[j - prev_lo];
+                if up > NEG {
+                    sc = sc.max(up + scoring.gap);
+                }
+            }
+            if j > new_lo {
+                let left = *scratch.cur.last().unwrap();
+                if left > NEG {
+                    sc = sc.max(left + scoring.gap);
+                }
+            }
+            // Two-phase x-drop test: threshold against the best of the
+            // completed rows only.
+            if sc < thr {
+                sc = NEG;
+            }
+            scratch.cur.push(sc);
+        }
+        counters.cells += scratch.cur.len() as u64;
+        counters.band_peak = counters.band_peak.max(scratch.cur.len() as u64);
+
+        // Fold the finished row into `best` (first attainment wins ties).
+        for (idx, &v) in scratch.cur.iter().enumerate() {
+            if v > best {
+                best = v;
+                best_i = i;
+                best_j = new_lo + idx;
+            }
+        }
+
+        // Trim dead cells from both ends of the window; stop if nothing lives.
+        match scratch.cur.iter().position(|&v| v > NEG) {
+            None => {
+                counters.terminations += 1;
+                return ExtendResult { score: best, ext_a: best_i, ext_b: best_j };
+            }
+            Some(first) => {
+                let last = scratch.cur.iter().rposition(|&v| v > NEG).unwrap();
+                lo = new_lo + first;
+                hi = new_lo + last;
+                // Keep only the live range in `prev` for the next row; the
+                // swap reuses the buffers without reallocating.
+                std::mem::swap(&mut scratch.prev, &mut scratch.cur);
+                if first > 0 || last + 1 < scratch.prev.len() {
+                    scratch.prev.copy_within(first..=last, 0);
+                    scratch.prev.truncate(last - first + 1);
+                }
+            }
+        }
+    }
+    ExtendResult { score: best, ext_a: best_i, ext_b: best_j }
+}
+
+/// The pre-batching row-sequential x-drop extension, preserved verbatim as
+/// the benchmark baseline (`BENCH_align.json` measures the batched engine
+/// against it, the way `local_spgemm_baseline` anchors the SpGEMM
+/// trajectory).  It allocates two fresh row `Vec`s per DP row and updates
+/// `best` mid-row, so cells right of a new best are pruned against the newer
+/// threshold; see the module docs for why [`xdrop_extend`] reformulated that.
+pub fn xdrop_extend_baseline(
+    a: &[u8],
+    b: &[u8],
+    scoring: ScoringScheme,
+    xdrop: i32,
+) -> ExtendResult {
     let neg = i32::MIN / 4;
     let m = b.len();
     let mut best = 0i32;
@@ -118,9 +319,12 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], scoring: ScoringScheme, xdrop: i32) -> E
 /// Align read `v` against read `h` starting from a shared-k-mer seed.
 ///
 /// `seed_v` and `seed_h` are the k-mer start positions on `v` and on the
-/// *oriented* `h` (reverse-complemented when `strand == Reverse`); `k` is the
-/// seed length.  The seed region is scored as `k` matches and the alignment is
-/// extended with [`xdrop_extend`] on both sides.
+/// *oriented* `h` (reverse-complemented when `strand == Strand::Reverse`);
+/// `k` is the seed length.  The seed region is scored as `k` matches and the
+/// alignment is extended with [`xdrop_extend`] on both sides.
+///
+/// Allocates per call; the batched pipeline path uses
+/// [`crate::batch::align_seed_pair_with`] with per-worker scratch instead.
 pub fn align_seed_pair(
     v: &DnaSeq,
     h_oriented: &DnaSeq,
@@ -130,31 +334,18 @@ pub fn align_seed_pair(
     strand: Strand,
     config: &AlignmentConfig,
 ) -> PairAlignment {
-    assert!(seed_v + k <= v.len(), "seed exceeds read v");
-    assert!(seed_h + k <= h_oriented.len(), "seed exceeds read h");
-    let scoring = config.scoring;
-
-    // Right extension over the suffixes beyond the seed.
-    let right = xdrop_extend(
-        &v.codes()[seed_v + k..],
-        &h_oriented.codes()[seed_h + k..],
-        scoring,
-        config.xdrop,
-    );
-    // Left extension over the reversed prefixes before the seed.
-    let v_prefix: Vec<u8> = v.codes()[..seed_v].iter().rev().copied().collect();
-    let h_prefix: Vec<u8> = h_oriented.codes()[..seed_h].iter().rev().copied().collect();
-    let left = xdrop_extend(&v_prefix, &h_prefix, scoring, config.xdrop);
-
-    let score = left.score + right.score + (k as i32) * scoring.match_score;
-    PairAlignment {
-        score,
-        beg_v: seed_v - left.ext_a,
-        end_v: seed_v + k + right.ext_a,
-        beg_h: seed_h - left.ext_b,
-        end_h: seed_h + k + right.ext_b,
+    let mut scratch = crate::batch::AlignScratch::default();
+    crate::batch::align_seed_pair_with(
+        v.codes(),
+        h_oriented.codes(),
+        seed_v,
+        seed_h,
+        k,
         strand,
-    }
+        config,
+        crate::batch::ExtendEngine::Auto,
+        &mut scratch,
+    )
 }
 
 #[cfg(test)]
@@ -241,6 +432,67 @@ mod tests {
         let loose = xdrop_extend(a.codes(), b.codes(), default_scoring(), 100);
         assert_eq!(loose.score, 5 - 10 + 30);
         assert_eq!(loose.ext_a, 45);
+    }
+
+    #[test]
+    fn baseline_agrees_on_the_classic_cases() {
+        // The preserved row-sequential baseline and the two-phase oracle agree
+        // on well-conditioned inputs (they can differ only when a mid-row best
+        // update would have pruned a cell that later recovers by ~xdrop).
+        let cases = [
+            ("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", 10),
+            ("ACGTACGTACAAAAAAAAAAAAAAAAAAAA", "ACGTACGTACTTTTTTTTTTTTTTTTTTTT", 5),
+            ("ACGTACGTACGTACGTACGT", "ACGTACGTACAGTACGTACGT", 20),
+        ];
+        for (a, b, xdrop) in cases {
+            let a = seq(a);
+            let b = seq(b);
+            assert_eq!(
+                xdrop_extend(a.codes(), b.codes(), default_scoring(), xdrop),
+                xdrop_extend_baseline(a.codes(), b.codes(), default_scoring(), xdrop),
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_and_counts_cells() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = DnaSeq::from_codes((0..500).map(|_| rng.gen_range(0..4u8)).collect());
+        let mut b_codes = a.codes().to_vec();
+        for idx in (0..b_codes.len()).step_by(25) {
+            b_codes[idx] = (b_codes[idx] + 1) % 4;
+        }
+        let b = DnaSeq::from_codes(b_codes);
+        let mut scratch = XdropScratch::new();
+        let mut counters = ExtendCounters::default();
+        let r1 =
+            xdrop_extend_with(a.codes(), b.codes(), default_scoring(), 30, &mut scratch, &mut counters);
+        let cells_one = counters.cells;
+        assert!(cells_one > 0);
+        assert!(counters.band_peak >= 1);
+        assert_eq!(counters.calls, 1);
+        // Second call with the same (now warm) scratch: identical result,
+        // identical cell count.
+        let r2 =
+            xdrop_extend_with(a.codes(), b.codes(), default_scoring(), 30, &mut scratch, &mut counters);
+        assert_eq!(r1, r2);
+        assert_eq!(counters.cells, 2 * cells_one);
+        assert_eq!(r1, xdrop_extend(a.codes(), b.codes(), default_scoring(), 30));
+    }
+
+    #[test]
+    fn termination_counter_fires_on_xdrop_stops_only() {
+        let mut scratch = XdropScratch::new();
+        let mut counters = ExtendCounters::default();
+        // Full extension: no termination.
+        let a = seq("ACGTACGTACGTACGT");
+        let _ = xdrop_extend_with(a.codes(), a.codes(), default_scoring(), 10, &mut scratch, &mut counters);
+        assert_eq!(counters.terminations, 0);
+        // Divergence: the window dies before `a` is consumed.
+        let c = seq("ACGTACGTACAAAAAAAAAAAAAAAAAAAA");
+        let d = seq("ACGTACGTACTTTTTTTTTTTTTTTTTTTT");
+        let _ = xdrop_extend_with(c.codes(), d.codes(), default_scoring(), 5, &mut scratch, &mut counters);
+        assert_eq!(counters.terminations, 1);
     }
 
     #[test]

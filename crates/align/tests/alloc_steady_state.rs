@@ -1,0 +1,136 @@
+//! Pins the zero-allocation steady state of the batched alignment engine.
+//!
+//! A counting global allocator wraps the system allocator; after warm-up
+//! calls have grown every scratch buffer, further extensions and full
+//! seed-pair alignments through the worker scratch must allocate nothing.
+//! This file holds a single `#[test]` on purpose: the counter is global, and
+//! a sibling test allocating concurrently would make the delta meaningless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dibella_align::{
+    align_seed_pair_with, xdrop_extend_auto, AlignmentConfig, AlignScratch, ExtendEngine,
+    OrientCache, ScoringScheme,
+};
+use dibella_seq::{DnaSeq, Strand};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_alignment_allocates_nothing() {
+    // Deterministic pseudo-random sequences without pulling in rand (which
+    // could allocate internally and pollute the counter).
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 32) as u8 % 4
+    };
+    let genome: Vec<u8> = (0..3000).map(|_| next()).collect();
+    let v = DnaSeq::from_codes(genome[..2000].to_vec());
+    let h = DnaSeq::from_codes(genome[800..2800].to_vec());
+    let h_rc = h.reverse_complement();
+    let config = AlignmentConfig::for_tests();
+
+    let mut scratch = AlignScratch::new();
+    let mut cache = OrientCache::new();
+
+    // Warm-up: grows the DP buffers, equality tables, reversed-prefix
+    // buffers and the orientation cache to their steady-state sizes (the
+    // same work shapes the steady loop replays).
+    for seed_off in [0usize, 37, 113, 271] {
+        let _ = cache.reverse_complement(1, h_rc.codes());
+        for engine in [ExtendEngine::Auto, ExtendEngine::Scalar] {
+            let _ = align_seed_pair_with(
+                v.codes(),
+                h.codes(),
+                1200 + seed_off,
+                400 + seed_off,
+                17,
+                Strand::Forward,
+                &config,
+                engine,
+                &mut scratch,
+            );
+        }
+    }
+
+    // Steady state: repeat alignments of the same shape (different seeds,
+    // both engines, orientation-cache hit included) — zero allocations.
+    let allocs = count_allocs(|| {
+        for seed_off in [0usize, 37, 113, 271] {
+            let oriented = cache.reverse_complement(1, h_rc.codes());
+            assert_eq!(oriented.len(), h.len());
+            for engine in [ExtendEngine::Auto, ExtendEngine::Scalar] {
+                let aln = align_seed_pair_with(
+                    v.codes(),
+                    h.codes(),
+                    1200 + seed_off,
+                    400 + seed_off,
+                    17,
+                    Strand::Forward,
+                    &config,
+                    engine,
+                    &mut scratch,
+                );
+                assert!(aln.end_v > aln.beg_v);
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "warm batched alignment must not allocate");
+
+    // Sanity: the raw extension entry point is allocation-free too (one warm
+    // call first — the full-length extension is wider than the seeded ones).
+    for engine in [ExtendEngine::Auto, ExtendEngine::Scalar] {
+        let _ = xdrop_extend_auto(
+            v.codes(),
+            h.codes(),
+            ScoringScheme::default(),
+            config.xdrop,
+            engine,
+            &mut scratch,
+        );
+    }
+    let allocs = count_allocs(|| {
+        let _ = xdrop_extend_auto(
+            v.codes(),
+            h.codes(),
+            ScoringScheme::default(),
+            config.xdrop,
+            ExtendEngine::Auto,
+            &mut scratch,
+        );
+    });
+    assert_eq!(allocs, 0, "warm xdrop_extend_auto must not allocate");
+}

@@ -1,11 +1,37 @@
-//! Criterion micro-benchmarks for the x-drop seed-and-extend aligner.
+//! Criterion micro-benchmarks for the x-drop seed-and-extend aligner, plus
+//! the engine-regression comparison that writes `BENCH_align.json`.
+//!
+//! The JSON artifact pits the batched alignment stage
+//! (`align_candidates_exec`, flat (pair, seed) work queue, per-worker
+//! scratch, lane-packed vector kernel — SSE2 on x86-64, u64 SWAR elsewhere —
+//! under `ExtendEngine::Auto`) against a faithful reconstruction of the
+//! **pre-batching** stage — a per-pair loop that clones / reverse complements
+//! `h` for *every* seed and extends with the preserved
+//! `xdrop_extend_baseline` (per-row `Vec` churn) — on the
+//! `DatasetSpec::Small` overlap workload.  To keep the bench inside a CI
+//! budget the candidate set is subsampled (every `PAIR_STRIDE`-th
+//! upper-triangle pair, recorded honestly in the JSON); every path aligns
+//! the **same** subsample, so the speedups are apples-to-apples.  It records
+//! wall-clock, aligned-cells/sec for each path and the batched/baseline
+//! speedup.  CI runs this bench at every push to maintain the perf
+//! trajectory (`DIBELLA_BENCH_OUT` overrides the path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dibella_align::{align_seed_pair, xdrop_extend, AlignmentConfig, ScoringScheme};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dibella_align::{
+    align_seed_pair, xdrop_extend, xdrop_extend_auto, xdrop_extend_baseline, AlignScratch,
+    AlignmentConfig, ExtendEngine, PairAlignment, ScoringScheme,
+};
+use dibella_dist::{CommStats, ProcessGrid};
+use dibella_overlap::{
+    align_candidates_exec, build_a_matrix, detect_candidates_2d, CommonKmers, OverlapConfig,
+};
 use dibella_seq::simulate::apply_errors;
-use dibella_seq::{DnaSeq, Strand};
+use dibella_seq::{count_kmers_serial, DatasetSpec, DnaSeq, KmerSelection, ReadSet, Strand};
+use dibella_sparse::{DistMat2D, Triples};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
 
 fn overlapping_pair(len: usize, overlap: usize, error: f64, seed: u64) -> (DnaSeq, DnaSeq) {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -40,14 +66,310 @@ fn bench_alignment(c: &mut Criterion) {
         });
     }
 
-    // Raw extension throughput on identical sequences (upper bound).
+    // Raw extension throughput on identical sequences (upper bound), for the
+    // scalar oracle, the preserved pre-refactor baseline and the vector
+    // kernel (SSE2 on x86-64, SWAR elsewhere).
     let mut rng = SmallRng::seed_from_u64(5);
     let s = DnaSeq::from_codes((0..10_000).map(|_| rng.gen_range(0..4u8)).collect());
     group.bench_function("xdrop_extend_identical_10k", |bencher| {
         bencher.iter(|| xdrop_extend(s.codes(), s.codes(), ScoringScheme::default(), 49))
     });
+    group.bench_function("xdrop_extend_baseline_identical_10k", |bencher| {
+        bencher.iter(|| xdrop_extend_baseline(s.codes(), s.codes(), ScoringScheme::default(), 49))
+    });
+    let mut scratch = AlignScratch::new();
+    group.bench_function("xdrop_extend_simd_identical_10k", |bencher| {
+        bencher.iter(|| {
+            xdrop_extend_auto(
+                s.codes(),
+                s.codes(),
+                ScoringScheme::default(),
+                49,
+                ExtendEngine::Auto,
+                &mut scratch,
+            )
+        })
+    });
     group.finish();
 }
 
+/// Mean wall-clock seconds of `f`: one warm-up call, then samples until the
+/// time budget and at least `min_samples` calls are spent.
+fn measure<T>(budget: Duration, min_samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while started.elapsed() < budget || samples.len() < min_samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// A faithful reconstruction of the **pre-batching** seed-pair alignment
+/// (what `align_seed_pair` executed before the scratch refactor): fresh
+/// reversed-prefix `Vec`s per call and the preserved mid-row-update
+/// `xdrop_extend_baseline` with its per-row `Vec` churn.
+fn baseline_align_seed_pair(
+    v: &DnaSeq,
+    h_oriented: &DnaSeq,
+    seed_v: usize,
+    seed_h: usize,
+    k: usize,
+    strand: Strand,
+    config: &AlignmentConfig,
+) -> PairAlignment {
+    let scoring = config.scoring;
+    let right = xdrop_extend_baseline(
+        &v.codes()[seed_v + k..],
+        &h_oriented.codes()[seed_h + k..],
+        scoring,
+        config.xdrop,
+    );
+    let v_prefix: Vec<u8> = v.codes()[..seed_v].iter().rev().copied().collect();
+    let h_prefix: Vec<u8> = h_oriented.codes()[..seed_h].iter().rev().copied().collect();
+    let left = xdrop_extend_baseline(&v_prefix, &h_prefix, scoring, config.xdrop);
+    let score = left.score + right.score + (k as i32) * scoring.match_score;
+    PairAlignment {
+        score,
+        beg_v: seed_v - left.ext_a,
+        end_v: seed_v + k + right.ext_a,
+        beg_h: seed_h - left.ext_b,
+        end_h: seed_h + k + right.ext_b,
+        strand,
+    }
+}
+
+/// A faithful reconstruction of the **pre-batching** alignment stage (what
+/// `align_candidates` executed before the flat work queue): one parallel task
+/// per candidate pair, `h` cloned or reverse-complemented anew for *every*
+/// seed, best-scoring alignment kept per pair.
+fn baseline_align_candidates(
+    reads: &ReadSet,
+    candidates: &DistMat2D<CommonKmers>,
+    config: &OverlapConfig,
+) -> Vec<Option<PairAlignment>> {
+    let pairs: Vec<(usize, usize, CommonKmers)> = candidates
+        .to_triples()
+        .into_entries()
+        .into_iter()
+        .filter(|(i, j, _)| i < j)
+        .collect();
+    pairs
+        .into_par_iter()
+        .map(|(i, j, common)| {
+            if common.count < config.min_shared_kmers {
+                return None;
+            }
+            let v = reads.seq(i);
+            let h = reads.seq(j);
+            let mut best: Option<PairAlignment> = None;
+            for seed in &common.seeds {
+                let (h_oriented, strand, seed_h) = if seed.same_strand {
+                    (h.clone(), Strand::Forward, seed.pos_h as usize)
+                } else {
+                    (
+                        h.reverse_complement(),
+                        Strand::Reverse,
+                        h.len() - config.k - seed.pos_h as usize,
+                    )
+                };
+                if seed.pos_v as usize + config.k > v.len()
+                    || seed_h + config.k > h_oriented.len()
+                {
+                    continue;
+                }
+                let aln = baseline_align_seed_pair(
+                    v,
+                    &h_oriented,
+                    seed.pos_v as usize,
+                    seed_h,
+                    config.k,
+                    strand,
+                    &config.alignment,
+                );
+                if best.as_ref().is_none_or(|b| aln.score > b.score) {
+                    best = Some(aln);
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Every `PAIR_STRIDE`-th upper-triangle candidate pair enters the timed
+/// subsample (mirrored back to a symmetric matrix, like the real candidate
+/// output).  Stride 1 would time the full Small workload (~10 Gcells): fine
+/// interactively, far past a CI budget.
+const PAIR_STRIDE: usize = 32;
+
+/// Which lane-packed kernel `ExtendEngine::Auto` dispatches to on this
+/// target.
+#[cfg(target_arch = "x86_64")]
+const VECTOR_KERNEL: &str = "sse2";
+/// Which lane-packed kernel `ExtendEngine::Auto` dispatches to on this
+/// target.
+#[cfg(not(target_arch = "x86_64"))]
+const VECTOR_KERNEL: &str = "swar";
+
+/// The engine-regression comparison recorded as `BENCH_align.json`.
+fn baseline_comparison() {
+    let budget = Duration::from_millis(600);
+
+    // The real workload: the candidate pairs of the Small benchmark dataset
+    // (the same candidates the pipeline's alignment stage receives),
+    // subsampled by PAIR_STRIDE to fit the CI budget.
+    let ds = dibella_bench::benchmark_dataset(DatasetSpec::Small, 77);
+    let k = 17;
+    let sel = KmerSelection { k, min_count: 2, max_count: 120 };
+    let table = count_kmers_serial(&ds.reads, &sel);
+    let a = build_a_matrix(&ds.reads, &table, k, ProcessGrid::square(1), 1);
+    let stats = CommStats::new();
+    let all_candidates = detect_candidates_2d(&a, &stats);
+    let mut total_pairs = 0usize;
+    let mut t = Triples::new(all_candidates.nrows(), all_candidates.ncols());
+    for (idx, (i, j, c)) in all_candidates
+        .to_triples()
+        .into_entries()
+        .into_iter()
+        .filter(|(i, j, _)| i < j)
+        .enumerate()
+    {
+        total_pairs += 1;
+        if idx % PAIR_STRIDE == 0 {
+            t.push(i, j, c);
+            t.push(j, i, c);
+        }
+    }
+    let candidates: DistMat2D<CommonKmers> = DistMat2D::from_triples(ProcessGrid::square(1), &t);
+    let config = OverlapConfig {
+        k,
+        alignment: AlignmentConfig::for_error_rate(ds.config.error_rate),
+        ..OverlapConfig::default()
+    };
+
+    // Pre-batching path: per-pair tasks, per-seed clone / reverse complement,
+    // per-row-allocating baseline kernel.
+    let baseline_secs =
+        measure(budget, 3, || baseline_align_candidates(&ds.reads, &candidates, &config));
+    // Batched path, scalar oracle: flat (pair, seed) queue + per-worker
+    // scratch, but the same scalar DP inner loop.
+    let scalar_secs = measure(budget, 3, || {
+        align_candidates_exec(&ds.reads, &candidates, &config, ExtendEngine::Scalar)
+    });
+    // Batched path, vector kernel.
+    let batched_secs = measure(budget, 3, || {
+        align_candidates_exec(&ds.reads, &candidates, &config, ExtendEngine::Auto)
+    });
+
+    // One counted run for the cell tallies (engine- and thread-deterministic;
+    // all engines walk identical bands, so one cell count rates all paths).
+    let (_, ostats, exec) =
+        align_candidates_exec(&ds.reads, &candidates, &config, ExtendEngine::Auto);
+    let cells = exec.aligned_cells;
+    let rate = |secs: f64| if secs > 0.0 { cells as f64 / secs / 1e6 } else { 0.0 };
+    let baseline_rate = rate(baseline_secs);
+    let scalar_rate = rate(scalar_secs);
+    let batched_rate = rate(batched_secs);
+    let speedup = baseline_secs / batched_secs;
+    let scalar_speedup = baseline_secs / scalar_secs;
+
+    println!(
+        "\nalignment engine regression (DatasetSpec::Small, every {PAIR_STRIDE}th of \
+         {total_pairs} candidate pairs)"
+    );
+    println!(
+        "  reads={} sampled_pairs={} aligned_pairs={} extensions={} ({} {VECTOR_KERNEL} / {} scalar)",
+        ds.reads.len(),
+        ostats.candidate_pairs,
+        ostats.aligned_pairs,
+        exec.extend_calls,
+        exec.simd_calls,
+        exec.scalar_calls
+    );
+    println!(
+        "  DP cells: {cells}; peak band width {}; x-drop early stops {}",
+        exec.band_width_peak, exec.xdrop_terminations
+    );
+    println!(
+        "  pre-batching baseline:   {:>10.3} ms  ({baseline_rate:.1} Mcells/s)  (per-seed clone/rc + per-row Vec churn)",
+        baseline_secs * 1e3
+    );
+    println!(
+        "  batched, scalar oracle:  {:>10.3} ms  ({scalar_rate:.1} Mcells/s, {scalar_speedup:.2}x)",
+        scalar_secs * 1e3
+    );
+    println!(
+        "  batched, {VECTOR_KERNEL} (Auto):     {:>10.3} ms  ({batched_rate:.1} Mcells/s, {speedup:.2}x)",
+        batched_secs * 1e3
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"alignment\",\n",
+            "  \"dataset\": \"{dataset}\",\n",
+            "  \"threads\": {threads},\n",
+            "  \"vector_kernel\": \"{kernel}\",\n",
+            "  \"reads\": {reads},\n",
+            "  \"total_candidate_pairs\": {total},\n",
+            "  \"pair_stride\": {stride},\n",
+            "  \"sampled_pairs\": {pairs},\n",
+            "  \"aligned_pairs\": {aligned},\n",
+            "  \"extend_calls\": {calls},\n",
+            "  \"simd_calls\": {simd},\n",
+            "  \"scalar_calls\": {scalar},\n",
+            "  \"aligned_cells\": {cells},\n",
+            "  \"band_width_peak\": {band},\n",
+            "  \"xdrop_terminations\": {stops},\n",
+            "  \"baseline_secs\": {base:.6},\n",
+            "  \"batched_scalar_secs\": {scal:.6},\n",
+            "  \"batched_simd_secs\": {simdsecs:.6},\n",
+            "  \"baseline_mcells_per_sec\": {baserate:.2},\n",
+            "  \"batched_scalar_mcells_per_sec\": {scalrate:.2},\n",
+            "  \"batched_simd_mcells_per_sec\": {simdrate:.2},\n",
+            "  \"batched_scalar_speedup\": {scalspeed:.3},\n",
+            "  \"batched_simd_speedup\": {speedup:.3}\n",
+            "}}\n"
+        ),
+        dataset = DatasetSpec::Small.label(),
+        threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        kernel = VECTOR_KERNEL,
+        reads = ds.reads.len(),
+        total = total_pairs,
+        stride = PAIR_STRIDE,
+        pairs = ostats.candidate_pairs,
+        aligned = ostats.aligned_pairs,
+        calls = exec.extend_calls,
+        simd = exec.simd_calls,
+        scalar = exec.scalar_calls,
+        cells = cells,
+        band = exec.band_width_peak,
+        stops = exec.xdrop_terminations,
+        base = baseline_secs,
+        scal = scalar_secs,
+        simdsecs = batched_secs,
+        baserate = baseline_rate,
+        scalrate = scalar_rate,
+        simdrate = batched_rate,
+        scalspeed = scalar_speedup,
+        speedup = speedup,
+    );
+    // Default to the workspace root (cargo bench runs with the package dir
+    // as cwd); DIBELLA_BENCH_OUT overrides.
+    let out_path = std::env::var("DIBELLA_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_align.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_alignment);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    baseline_comparison();
+}

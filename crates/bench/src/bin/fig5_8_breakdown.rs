@@ -11,10 +11,12 @@
 //! ```
 
 use dibella_bench::{
-    benchmark_dataset, fmt, phase_flop_rate, print_header, print_row, SimulatedBreakdown,
+    alignment_cell_rate, benchmark_dataset, fmt, phase_flop_rate, print_header, print_row,
+    SimulatedBreakdown,
 };
 use dibella_dist::collectives::{p2p_messages_key, p2p_words_key};
 use dibella_dist::{CommPhase, CommStats};
+use dibella_overlap::{BAND_WIDTH_PEAK_KEY, XDROP_TERMINATIONS_KEY};
 use dibella_pipeline::{run_dibella_2d, PipelineConfig, StageTimings};
 use dibella_seq::{write_fasta, DatasetSpec};
 
@@ -86,6 +88,19 @@ fn main() {
                     "  SpGEMM comm: {} words / {} messages total, of which the \
                      cross-diagonal exchange is {p2p_words} words / {p2p_msgs} messages",
                     spgemm_phase.words, spgemm_phase.messages
+                );
+
+                // Alignment throughput from the batched x-drop engine's cell
+                // accounting (the dominant stage of Figures 5-8).
+                let (cells, cell_rate) =
+                    alignment_cell_rate(&out.comm, out.timings.alignment);
+                let band_peak =
+                    out.comm.extras.get(BAND_WIDTH_PEAK_KEY).copied().unwrap_or(0);
+                let stops =
+                    out.comm.extras.get(XDROP_TERMINATIONS_KEY).copied().unwrap_or(0);
+                println!(
+                    "  Alignment: {cells} DP cells at {cell_rate:.1} Mcells/s; \
+                     peak band width {band_peak}; x-drop early stops {stops}"
                 );
             }
         }

@@ -177,6 +177,15 @@ pub fn phase_flop_rate(comm: &CommSnapshot, phase: CommPhase, secs: f64) -> (u64
     (flops, rate)
 }
 
+/// Aligned DP cells the batched aligner recorded (via the overlap stage's
+/// `CommStats::extras` plumbing) and the resulting measured alignment
+/// throughput in Mcells/s given the stage's measured wall-clock seconds.
+pub fn alignment_cell_rate(comm: &CommSnapshot, secs: f64) -> (u64, f64) {
+    let cells = comm.extras.get(dibella_overlap::ALIGNED_CELLS_KEY).copied().unwrap_or(0);
+    let rate = if secs > 0.0 { cells as f64 / secs / 1e6 } else { 0.0 };
+    (cells, rate)
+}
+
 /// Pretty-print a row of pipe-separated cells with a fixed width.
 pub fn print_row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();

@@ -10,14 +10,18 @@
 
 use crate::amatrix::build_a_matrix;
 use crate::semiring::OverlapSemiring;
-use crate::types::{CommonKmers, KmerOccurrence, OverlapEdge};
-use dibella_align::{align_seed_pair, classify_alignment, AlignmentConfig, OverlapClass};
+use crate::types::{CommonKmers, KmerOccurrence, OverlapEdge, SharedSeed};
+use dibella_align::{
+    align_seed_pair_with, classify_alignment, AlignScratch, AlignmentConfig, ExtendEngine,
+    OrientCache, OverlapClass, PairAlignment,
+};
 use dibella_dist::{words_of, BlockDist, CommPhase, CommStats, ProcessGrid};
 use dibella_seq::{KmerTable, ReadSet, Strand};
 use dibella_sparse::{summa_aat_sym_with_words, summa_abt_with_words, DistMat2D, Triples};
-use rayon::prelude::*;
+use rayon::pool;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of the overlap-detection stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,6 +185,103 @@ enum PairOutcome {
     Dovetail { i: usize, j: usize, edge_ij: OverlapEdge, edge_ji: OverlapEdge },
 }
 
+/// `CommStats` extras key: DP cells evaluated by the alignment stage.
+pub const ALIGNED_CELLS_KEY: &str = "aligned_cells";
+/// `CommStats` extras key: widest adaptive band of any single extension.
+pub const BAND_WIDTH_PEAK_KEY: &str = "band_width_peak";
+/// `CommStats` extras key: extensions stopped early by the x-drop test.
+pub const XDROP_TERMINATIONS_KEY: &str = "xdrop_terminations";
+
+/// Execution counters of one batched alignment run.
+///
+/// All fields except [`rc_orientations`](Self::rc_orientations) are
+/// deterministic — independent of worker count and engine choice (both
+/// kernels walk the same adaptive band); `rc_orientations` counts
+/// per-worker cache misses and therefore varies with work stealing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignExecStats {
+    /// DP cells evaluated (live-band widths summed over every extension row).
+    pub aligned_cells: u64,
+    /// Widest adaptive band of any single extension row.
+    pub band_width_peak: u64,
+    /// Extensions stopped early by the x-drop test.
+    pub xdrop_terminations: u64,
+    /// x-drop extension calls (two per evaluated seed: left + right).
+    pub extend_calls: u64,
+    /// Extensions dispatched to the lane-packed vector kernel (SSE2 on
+    /// x86-64, SWAR elsewhere).
+    pub simd_calls: u64,
+    /// Extensions dispatched to the scalar oracle.
+    pub scalar_calls: u64,
+    /// Reverse complements materialised by the per-worker oriented-read
+    /// caches (cache misses; thread-count dependent, never fed into comm
+    /// accounting).
+    pub rc_orientations: u64,
+}
+
+/// Shared accumulator the per-worker scratches flush into on drop.
+#[derive(Default)]
+struct SharedAlignCounters {
+    cells: AtomicU64,
+    band_peak: AtomicU64,
+    terminations: AtomicU64,
+    calls: AtomicU64,
+    simd: AtomicU64,
+    scalar: AtomicU64,
+    rc: AtomicU64,
+}
+
+impl SharedAlignCounters {
+    fn into_stats(self) -> AlignExecStats {
+        AlignExecStats {
+            aligned_cells: self.cells.into_inner(),
+            band_width_peak: self.band_peak.into_inner(),
+            xdrop_terminations: self.terminations.into_inner(),
+            extend_calls: self.calls.into_inner(),
+            simd_calls: self.simd.into_inner(),
+            scalar_calls: self.scalar.into_inner(),
+            rc_orientations: self.rc.into_inner(),
+        }
+    }
+}
+
+/// One worker's state for the flat (pair, seed) queue: alignment scratch plus
+/// the oriented-read cache.  The accumulated counters flush into the shared
+/// totals exactly once, when the pool drops the worker state.
+struct AlignWorker<'a> {
+    scratch: AlignScratch,
+    orient: OrientCache,
+    shared: &'a SharedAlignCounters,
+}
+
+impl<'a> AlignWorker<'a> {
+    fn new(shared: &'a SharedAlignCounters) -> Self {
+        Self { scratch: AlignScratch::new(), orient: OrientCache::new(), shared }
+    }
+}
+
+impl Drop for AlignWorker<'_> {
+    fn drop(&mut self) {
+        let c = &self.scratch.counters;
+        self.shared.cells.fetch_add(c.cells, Ordering::Relaxed);
+        self.shared.band_peak.fetch_max(c.band_peak, Ordering::Relaxed);
+        self.shared.terminations.fetch_add(c.terminations, Ordering::Relaxed);
+        self.shared.calls.fetch_add(c.calls, Ordering::Relaxed);
+        self.shared.simd.fetch_add(self.scratch.simd_calls, Ordering::Relaxed);
+        self.shared.scalar.fetch_add(self.scratch.scalar_calls, Ordering::Relaxed);
+        self.shared.rc.fetch_add(self.orient.rc_computed, Ordering::Relaxed);
+    }
+}
+
+/// One unit of the flat alignment work queue: one stored seed of one
+/// candidate pair.  A pair's seeds stay adjacent in the queue, so a worker
+/// processing them back-to-back hits its oriented-read cache.
+#[derive(Clone, Copy)]
+struct SeedJob {
+    pair: u32,
+    seed: SharedSeed,
+}
+
 /// Align every candidate pair, classify the alignments, and assemble the
 /// pruned overlap matrix `R`.
 ///
@@ -196,6 +297,44 @@ pub fn align_candidates(
     candidates: &DistMat2D<CommonKmers>,
     config: &OverlapConfig,
 ) -> (DistMat2D<OverlapEdge>, OverlapStats) {
+    align_candidates_with(reads, candidates, config, None)
+}
+
+/// [`align_candidates`] that also folds the alignment-stage counters into
+/// `comm` extras (`aligned_cells`, `band_width_peak`, `xdrop_terminations`) —
+/// the form the pipelines call.  Only thread-count-deterministic counters are
+/// recorded, so comm snapshots stay bit-identical at any worker count.
+pub fn align_candidates_with(
+    reads: &ReadSet,
+    candidates: &DistMat2D<CommonKmers>,
+    config: &OverlapConfig,
+    comm: Option<&CommStats>,
+) -> (DistMat2D<OverlapEdge>, OverlapStats) {
+    let (overlaps, stats, exec) =
+        align_candidates_exec(reads, candidates, config, ExtendEngine::Auto);
+    if let Some(comm) = comm {
+        comm.bump_extra(ALIGNED_CELLS_KEY, exec.aligned_cells);
+        comm.max_extra(BAND_WIDTH_PEAK_KEY, exec.band_width_peak);
+        comm.bump_extra(XDROP_TERMINATIONS_KEY, exec.xdrop_terminations);
+    }
+    (overlaps, stats)
+}
+
+/// The full-control form of [`align_candidates`]: explicit engine choice and
+/// the execution counters returned to the caller (benches and tests).
+///
+/// The (pair, seed) work items are flattened into one queue on the
+/// work-stealing pool; each worker reuses one [`AlignScratch`] +
+/// [`OrientCache`] across every item it steals, and the per-pair best seed is
+/// reduced deterministically afterwards (first-best in stored seed order, as
+/// the sequential path always did).  Output is bit-identical for every
+/// engine and worker count.
+pub fn align_candidates_exec(
+    reads: &ReadSet,
+    candidates: &DistMat2D<CommonKmers>,
+    config: &OverlapConfig,
+    engine: ExtendEngine,
+) -> (DistMat2D<OverlapEdge>, OverlapStats, AlignExecStats) {
     let mut stats = OverlapStats::default();
     let n = reads.len();
 
@@ -209,44 +348,80 @@ pub fn align_candidates(
     stats.candidate_pairs = pairs.len();
     stats.c_density = if n > 0 { candidates.nnz() as f64 / n as f64 } else { 0.0 };
 
+    // Flatten every stored seed of every pair that passes the shared-k-mer
+    // filter into the flat work queue.
+    let jobs: Vec<SeedJob> = pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, _, common))| common.count >= config.min_shared_kmers)
+        .flat_map(|(idx, (_, _, common))| {
+            common.seeds.iter().map(move |&seed| SeedJob { pair: idx as u32, seed })
+        })
+        .collect();
+
+    let shared = SharedAlignCounters::default();
+    let results: Vec<Option<PairAlignment>> = pool::map_indexed_with(
+        jobs.len(),
+        || AlignWorker::new(&shared),
+        |worker, idx| {
+            let job = jobs[idx];
+            let (i, j, _) = pairs[job.pair as usize];
+            let v = reads.seq(i);
+            let h = reads.seq(j);
+            let seed = job.seed;
+            let (strand, seed_h) = if seed.same_strand {
+                (Strand::Forward, seed.pos_h as usize)
+            } else {
+                (Strand::Reverse, h.len() - config.k - seed.pos_h as usize)
+            };
+            if seed.pos_v as usize + config.k > v.len() || seed_h + config.k > h.len() {
+                return None;
+            }
+            // Orient h once per (pair, strand): forward pairs borrow the
+            // stored codes, reverse pairs hit the per-worker cache.
+            let h_codes: &[u8] = if seed.same_strand {
+                h.codes()
+            } else {
+                worker.orient.reverse_complement(j, h.codes())
+            };
+            Some(align_seed_pair_with(
+                v.codes(),
+                h_codes,
+                seed.pos_v as usize,
+                seed_h,
+                config.k,
+                strand,
+                &config.alignment,
+                engine,
+                &mut worker.scratch,
+            ))
+        },
+    );
+    let exec = shared.into_stats();
+
+    // Deterministic per-pair reduction: first-best in stored seed order
+    // (strictly-greater keeps the earliest seed on ties, exactly like the
+    // old sequential per-pair loop).
+    let mut best: Vec<Option<PairAlignment>> = vec![None; pairs.len()];
+    for (job, res) in jobs.iter().zip(results) {
+        if let Some(aln) = res {
+            let slot = &mut best[job.pair as usize];
+            if slot.is_none_or(|b| aln.score > b.score) {
+                *slot = Some(aln);
+            }
+        }
+    }
+
     let outcomes: Vec<PairOutcome> = pairs
-        .into_par_iter()
-        .map(|(i, j, common)| {
+        .iter()
+        .enumerate()
+        .map(|(idx, &(i, j, ref common))| {
             if common.count < config.min_shared_kmers {
                 return PairOutcome::Skipped;
             }
             let v = reads.seq(i);
             let h = reads.seq(j);
-            // Evaluate every stored seed and keep the best-scoring alignment.
-            let mut best: Option<dibella_align::PairAlignment> = None;
-            for seed in &common.seeds {
-                let (h_oriented, strand, seed_h) = if seed.same_strand {
-                    (h.clone(), Strand::Forward, seed.pos_h as usize)
-                } else {
-                    (
-                        h.reverse_complement(),
-                        Strand::Reverse,
-                        h.len() - config.k - seed.pos_h as usize,
-                    )
-                };
-                if seed.pos_v as usize + config.k > v.len() || seed_h + config.k > h_oriented.len()
-                {
-                    continue;
-                }
-                let aln = align_seed_pair(
-                    v,
-                    &h_oriented,
-                    seed.pos_v as usize,
-                    seed_h,
-                    config.k,
-                    strand,
-                    &config.alignment,
-                );
-                if best.as_ref().is_none_or(|b| aln.score > b.score) {
-                    best = Some(aln);
-                }
-            }
-            let Some(aln) = best else { return PairOutcome::Skipped };
+            let Some(aln) = best[idx] else { return PairOutcome::Skipped };
 
             let aligned_len = aln.aligned_len();
             if aligned_len < config.alignment.min_overlap
@@ -321,7 +496,7 @@ pub fn align_candidates(
     let triples = Triples::from_entries(n, n, edges);
     let overlaps = DistMat2D::from_triples(candidates.grid(), &triples);
     stats.r_density = if n > 0 { overlaps.nnz() as f64 / n as f64 } else { 0.0 };
-    (overlaps, stats)
+    (overlaps, stats, exec)
 }
 
 /// Run the full 2D overlap-detection stage: build `A`, account for the read
@@ -336,7 +511,7 @@ pub fn run_overlap_2d(
     let a = build_a_matrix(reads, table, config.k, grid, grid.nprocs());
     account_read_exchange_2d(reads, grid, comm);
     let candidates = detect_candidates_2d_with(&a, comm, config.use_symmetric_summa);
-    let (overlaps, stats) = align_candidates(reads, &candidates, config);
+    let (overlaps, stats) = align_candidates_with(reads, &candidates, config, Some(comm));
     OverlapOutput { a, candidates, overlaps, stats }
 }
 
@@ -546,6 +721,114 @@ mod tests {
             let general = detect_candidates_2d_with(&a, &CommStats::new(), false);
             proptest::prop_assert_eq!(sym, general);
         }
+    }
+
+    #[test]
+    fn alignment_is_bit_identical_across_thread_counts_and_engines() {
+        let (ds, table, cfg) = setup(11);
+        let grid = ProcessGrid::square(4);
+        let a = build_a_matrix(&ds.reads, &table, cfg.k, grid, 4);
+        let candidates = detect_candidates_2d(&a, &CommStats::new());
+
+        let reference = rayon::pool::with_thread_limit(1, || {
+            align_candidates_exec(&ds.reads, &candidates, &cfg, ExtendEngine::Scalar)
+        });
+        assert!(reference.2.aligned_cells > 0);
+        assert!(reference.2.extend_calls > 0);
+        for threads in [1usize, 2, 4] {
+            for engine in [ExtendEngine::Auto, ExtendEngine::Scalar] {
+                let (overlaps, stats, exec) = rayon::pool::with_thread_limit(threads, || {
+                    align_candidates_exec(&ds.reads, &candidates, &cfg, engine)
+                });
+                assert_eq!(
+                    overlaps.to_local_csr(),
+                    reference.0.to_local_csr(),
+                    "threads={threads} engine={engine:?}: overlap matrix must be bit-identical"
+                );
+                assert_eq!(stats, reference.1, "threads={threads} engine={engine:?}");
+                // Cell/band/termination accounting is engine- and
+                // thread-count-deterministic (rc_orientations is not).
+                assert_eq!(exec.aligned_cells, reference.2.aligned_cells);
+                assert_eq!(exec.band_width_peak, reference.2.band_width_peak);
+                assert_eq!(exec.xdrop_terminations, reference.2.xdrop_terminations);
+                assert_eq!(exec.extend_calls, reference.2.extend_calls);
+                match engine {
+                    ExtendEngine::Auto => {
+                        assert_eq!(exec.simd_calls, reference.2.extend_calls);
+                        assert_eq!(exec.scalar_calls, 0);
+                    }
+                    ExtendEngine::Scalar => {
+                        assert_eq!(exec.simd_calls, 0);
+                        assert_eq!(exec.scalar_calls, reference.2.extend_calls);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_orientation_cost_is_per_pair_not_per_seed() {
+        // One reverse-strand pair carrying MAX_SEEDS seeds: the oriented-read
+        // cache must materialise exactly one reverse complement however many
+        // seeds the pair stores (the pre-batching path recomputed it per seed).
+        use crate::types::SeedList;
+        use dibella_seq::DnaSeq;
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8 % 4
+        };
+        let genome: Vec<u8> = (0..400).map(|_| next()).collect();
+        let v = DnaSeq::from_codes(genome[..300].to_vec());
+        let h = DnaSeq::from_codes(genome[100..400].to_vec()).reverse_complement();
+        let reads = ReadSet::from_records(vec![
+            dibella_seq::ReadRecord { name: "v".into(), seq: v.clone() },
+            dibella_seq::ReadRecord { name: "h".into(), seq: h.clone() },
+        ]);
+        let k = 13;
+        let cfg = OverlapConfig::for_tests(k);
+
+        // Two distinct seeds of the same reverse-strand pair.  pos_h is on
+        // h's stored strand: h_oriented[seed_h..] with
+        // seed_h = h.len() - k - pos_h must equal v[pos_v..pos_v+k], and
+        // h_oriented = rc(h) = genome[100..400].
+        let seed_at = |pos_v: u32| SharedSeed {
+            pos_v,
+            pos_h: (h.len() - k) as u32 - (pos_v - 100),
+            same_strand: false,
+        };
+        let mut seeds = SeedList::default();
+        seeds.push(seed_at(150));
+        seeds.push(seed_at(220));
+        assert_eq!(seeds.len(), crate::types::MAX_SEEDS);
+        let common = CommonKmers { count: 2, seeds };
+        let t = Triples::from_entries(2, 2, vec![(0usize, 1usize, common)]);
+        let candidates = DistMat2D::from_triples(ProcessGrid::square(1), &t);
+
+        let (_, stats, exec) = rayon::pool::with_thread_limit(1, || {
+            align_candidates_exec(&reads, &candidates, &cfg, ExtendEngine::Auto)
+        });
+        assert_eq!(stats.aligned_pairs, 1);
+        assert_eq!(exec.extend_calls, 4, "two seeds, each with left+right extension");
+        assert_eq!(
+            exec.rc_orientations, 1,
+            "one reverse pair: exactly one reverse complement regardless of seed count"
+        );
+    }
+
+    #[test]
+    fn comm_extras_carry_alignment_counters() {
+        let (ds, table, cfg) = setup(12);
+        let comm = CommStats::new();
+        let out = run_overlap_2d(&ds.reads, &table, &cfg, ProcessGrid::square(4), &comm);
+        assert!(out.stats.aligned_pairs > 0);
+        assert!(comm.extra(ALIGNED_CELLS_KEY) > 0);
+        assert!(comm.extra(BAND_WIDTH_PEAK_KEY) > 0);
+        // The counters agree with a direct exec run on the same candidates.
+        let (_, _, exec) = align_candidates_exec(&ds.reads, &out.candidates, &cfg, ExtendEngine::Auto);
+        assert_eq!(comm.extra(ALIGNED_CELLS_KEY), exec.aligned_cells);
+        assert_eq!(comm.extra(BAND_WIDTH_PEAK_KEY), exec.band_width_peak);
+        assert_eq!(comm.extra(XDROP_TERMINATIONS_KEY), exec.xdrop_terminations);
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub mod types;
 
 pub use amatrix::build_a_matrix;
 pub use detect::{
-    account_read_exchange_2d, align_candidates, detect_candidates_2d, detect_candidates_2d_with,
-    run_overlap_2d, OverlapConfig, OverlapOutput, OverlapStats,
+    account_read_exchange_2d, align_candidates, align_candidates_exec, align_candidates_with,
+    detect_candidates_2d, detect_candidates_2d_with, run_overlap_2d, AlignExecStats,
+    OverlapConfig, OverlapOutput, OverlapStats, ALIGNED_CELLS_KEY, BAND_WIDTH_PEAK_KEY,
+    XDROP_TERMINATIONS_KEY,
 };
 pub use minimizer::{minimizer_overlaps, MinimizerConfig, MinimizerOverlap};
 pub use one_d::{account_read_exchange_1d, detect_candidates_1d, run_overlap_1d};

@@ -10,7 +10,7 @@
 //! decomposition and communication — which is the paper's claim.
 
 use crate::amatrix::build_a_matrix;
-use crate::detect::{align_candidates, read_exchange_words, OverlapConfig, OverlapOutput};
+use crate::detect::{align_candidates_with, read_exchange_words, OverlapConfig, OverlapOutput};
 use crate::semiring::OverlapSemiring;
 use crate::types::CommonKmers;
 use dibella_dist::{BlockDist, CommPhase, CommStats, ProcessGrid};
@@ -92,7 +92,7 @@ pub fn run_overlap_1d(
     let candidates_local = detect_candidates_1d(&a_local, nprocs, comm);
     account_read_exchange_1d(reads, &candidates_local, nprocs, comm);
     let candidates = DistMat2D::from_triples(grid, &candidates_local.to_triples());
-    let (overlaps, stats) = align_candidates(reads, &candidates, config);
+    let (overlaps, stats) = align_candidates_with(reads, &candidates, config, Some(comm));
     OverlapOutput { a, candidates, overlaps, stats }
 }
 

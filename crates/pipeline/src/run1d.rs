@@ -12,7 +12,7 @@ use crate::run2d::PipelineDims;
 use crate::timings::{timed, StageTimings};
 use dibella_dist::{CommSnapshot, CommStats, ProcessGrid};
 use dibella_overlap::{
-    account_read_exchange_1d, align_candidates, build_a_matrix, detect_candidates_1d,
+    account_read_exchange_1d, align_candidates_with, build_a_matrix, detect_candidates_1d,
     OverlapEdge, OverlapStats,
 };
 use dibella_seq::{count_kmers_distributed, ReadSet};
@@ -65,7 +65,7 @@ pub fn run_dibella_1d(
 
     let candidates = DistMat2D::from_triples(grid, &candidates_local.to_triples());
     let ((overlap_matrix, overlap_stats), t_align) =
-        timed(|| align_candidates(reads, &candidates, &config.overlap));
+        timed(|| align_candidates_with(reads, &candidates, &config.overlap, Some(comm)));
     timings.alignment = t_align;
 
     Pipeline1dOutput {

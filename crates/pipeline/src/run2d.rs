@@ -4,7 +4,7 @@ use crate::config::PipelineConfig;
 use crate::timings::{timed, StageTimings};
 use dibella_dist::{par_ranks, CommPhase, CommSnapshot, CommStats, ProcessGrid};
 use dibella_overlap::{
-    account_read_exchange_2d, align_candidates, build_a_matrix, detect_candidates_2d_with,
+    account_read_exchange_2d, align_candidates_with, build_a_matrix, detect_candidates_2d_with,
     OverlapEdge, OverlapStats,
 };
 use dibella_seq::{count_kmers_distributed, parse_fasta, parse_fastq_filtered, ReadSet};
@@ -180,7 +180,7 @@ pub fn run_dibella_2d_on_reads(
 
     // Alignment: x-drop seed-and-extend on every candidate, then pruning.
     let ((overlap_matrix, overlap_stats), t_align) =
-        timed(|| align_candidates(reads, &candidates, &config.overlap));
+        timed(|| align_candidates_with(reads, &candidates, &config.overlap, Some(comm)));
     timings.alignment = t_align;
 
     // TrReduction: Algorithm 2.

@@ -7,8 +7,13 @@
 //! cargo run --release --example compare_overlappers
 //! ```
 
+use dibella2d::overlap::{
+    account_read_exchange_1d, account_read_exchange_2d, align_candidates_with, build_a_matrix,
+    detect_candidates_1d, detect_candidates_2d_with, ALIGNED_CELLS_KEY,
+};
 use dibella2d::prelude::*;
 use dibella2d::seq::count_kmers_distributed;
+use dibella2d::sparse::DistMat2D;
 use std::time::Instant;
 
 fn main() {
@@ -36,34 +41,63 @@ fn main() {
     println!("ground-truth overlapping pairs (>= {min_overlap} bp): {}\n", truth.len());
 
     println!(
-        "{:<22} {:>9} {:>9} {:>9} {:>10} {:>10}",
-        "method", "pairs", "recall%", "prec.%", "time (s)", "comm words"
+        "{:<22} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "method", "pairs", "recall%", "prec.%", "time (s)", "align (s)", "Mcells/s", "comm words"
     );
 
-    // diBELLA 2D.
+    // diBELLA 2D — staged like `run_overlap_2d`, with the alignment stage
+    // (the dominant cost, Figures 5-8) timed on its own.
     {
         let comm = CommStats::new();
         let table = count_kmers_distributed(&dataset.reads, &config.kmer, nprocs, &comm);
         let start = Instant::now();
-        let out = run_overlap_2d(
-            &dataset.reads,
-            &table,
-            &config.overlap,
-            ProcessGrid::square_at_most(nprocs),
-            &comm,
-        );
+        let grid = ProcessGrid::square_at_most(nprocs);
+        let a = build_a_matrix(&dataset.reads, &table, config.overlap.k, grid, grid.nprocs());
+        account_read_exchange_2d(&dataset.reads, grid, &comm);
+        let candidates =
+            detect_candidates_2d_with(&a, &comm, config.overlap.use_symmetric_summa);
+        let t_align = Instant::now();
+        let (overlaps, _) =
+            align_candidates_with(&dataset.reads, &candidates, &config.overlap, Some(&comm));
+        let align_secs = t_align.elapsed().as_secs_f64();
         let elapsed = start.elapsed().as_secs_f64();
-        report("diBELLA 2D (SpGEMM)", pairs_of(&out.overlaps), &truth, elapsed, comm.snapshot().total_words());
+        let snap = comm.snapshot();
+        let cells = snap.extras.get(ALIGNED_CELLS_KEY).copied().unwrap_or(0);
+        report(
+            "diBELLA 2D (SpGEMM)",
+            pairs_of(&overlaps),
+            &truth,
+            elapsed,
+            Some((align_secs, cells)),
+            snap.total_words(),
+        );
     }
 
-    // diBELLA 1D.
+    // diBELLA 1D — staged like `run_overlap_1d`.
     {
         let comm = CommStats::new();
         let table = count_kmers_distributed(&dataset.reads, &config.kmer, nprocs, &comm);
         let start = Instant::now();
-        let out = run_overlap_1d(&dataset.reads, &table, &config.overlap, nprocs, &comm);
+        let grid = ProcessGrid::square(1);
+        let a = build_a_matrix(&dataset.reads, &table, config.overlap.k, grid, nprocs);
+        let candidates_local = detect_candidates_1d(&a.to_local_csr(), nprocs, &comm);
+        account_read_exchange_1d(&dataset.reads, &candidates_local, nprocs, &comm);
+        let candidates = DistMat2D::from_triples(grid, &candidates_local.to_triples());
+        let t_align = Instant::now();
+        let (overlaps, _) =
+            align_candidates_with(&dataset.reads, &candidates, &config.overlap, Some(&comm));
+        let align_secs = t_align.elapsed().as_secs_f64();
         let elapsed = start.elapsed().as_secs_f64();
-        report("diBELLA 1D (hash)", pairs_of(&out.overlaps), &truth, elapsed, comm.snapshot().total_words());
+        let snap = comm.snapshot();
+        let cells = snap.extras.get(ALIGNED_CELLS_KEY).copied().unwrap_or(0);
+        report(
+            "diBELLA 1D (hash)",
+            pairs_of(&overlaps),
+            &truth,
+            elapsed,
+            Some((align_secs, cells)),
+            snap.total_words(),
+        );
     }
 
     // Minimizer overlapper (shared-memory, no alignment — like minimap2).
@@ -74,7 +108,7 @@ fn main() {
         let elapsed = start.elapsed().as_secs_f64();
         let pairs: std::collections::HashSet<(usize, usize)> =
             found.iter().map(|o| (o.read_a, o.read_b)).collect();
-        report("minimizer (no align)", pairs, &truth, elapsed, 0);
+        report("minimizer (no align)", pairs, &truth, elapsed, None, 0);
     }
 
     println!(
@@ -99,13 +133,23 @@ fn report(
     found: std::collections::HashSet<(usize, usize)>,
     truth: &std::collections::HashSet<(usize, usize)>,
     elapsed: f64,
+    alignment: Option<(f64, u64)>,
     comm_words: u64,
 ) {
     let true_pos = found.intersection(truth).count();
     let recall = 100.0 * true_pos as f64 / truth.len().max(1) as f64;
     let precision = 100.0 * true_pos as f64 / found.len().max(1) as f64;
+    // Alignment-stage wall clock and DP-cell throughput ("-" for methods
+    // that skip base-level alignment entirely).
+    let (align_s, rate) = match alignment {
+        Some((secs, cells)) if secs > 0.0 => {
+            (format!("{secs:.2}"), format!("{:.1}", cells as f64 / secs / 1e6))
+        }
+        Some((secs, _)) => (format!("{secs:.2}"), "-".to_string()),
+        None => ("-".to_string(), "-".to_string()),
+    };
     println!(
-        "{name:<22} {:>9} {recall:>8.1} {precision:>8.1} {elapsed:>10.2} {comm_words:>10}",
+        "{name:<22} {:>9} {recall:>8.1} {precision:>8.1} {elapsed:>10.2} {align_s:>10} {rate:>10} {comm_words:>9}",
         found.len()
     );
 }
