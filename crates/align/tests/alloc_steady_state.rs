@@ -1,49 +1,26 @@
 //! Pins the zero-allocation steady state of the batched alignment engine.
 //!
-//! A counting global allocator wraps the system allocator; after warm-up
-//! calls have grown every scratch buffer, further extensions and full
-//! seed-pair alignments through the worker scratch must allocate nothing.
-//! This file holds a single `#[test]` on purpose: the counter is global, and
-//! a sibling test allocating concurrently would make the delta meaningless.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The shared [`PeakAlloc`] counting allocator wraps the system allocator;
+//! after warm-up calls have grown every scratch buffer, further extensions
+//! and full seed-pair alignments through the worker scratch must allocate
+//! nothing.  This file holds a single `#[test]` on purpose: the counter is
+//! global, and a sibling test allocating concurrently would make the delta
+//! meaningless.
 
 use dibella_align::{
     align_seed_pair_with, xdrop_extend_auto, AlignmentConfig, AlignScratch, ExtendEngine,
     OrientCache, ScoringScheme,
 };
 use dibella_seq::{DnaSeq, Strand};
-
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-}
+use dibella_testutil::PeakAlloc;
 
 #[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
+static ALLOC: PeakAlloc = PeakAlloc::new();
 
 fn count_allocs(f: impl FnOnce()) -> u64 {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let scope = ALLOC.scope();
     f();
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+    scope.allocations()
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Pipeline configuration.
 
 use dibella_overlap::OverlapConfig;
-use dibella_seq::KmerSelection;
+use dibella_seq::{IngestBudget, KmerSelection};
 use dibella_strgraph::{ConsensusConfig, TransitiveReductionConfig};
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +23,12 @@ pub struct PipelineConfig {
     /// Number of virtual MPI ranks (must be a perfect square for the 2D
     /// pipeline; the largest square not exceeding it is used otherwise).
     pub nprocs: usize,
+    /// Memory budget of the streaming ingest path
+    /// ([`crate::run_dibella_2d_streaming`]): batch bounds for the superstep
+    /// k-mer counter plus a hard cap on its estimated resident bytes.
+    /// Defaults to unbounded, in which case the streaming path degenerates
+    /// to one superstep over the whole input (the monolithic behaviour).
+    pub ingest: IngestBudget,
 }
 
 impl Default for PipelineConfig {
@@ -34,6 +40,7 @@ impl Default for PipelineConfig {
             consensus: ConsensusConfig::default(),
             min_mean_quality: 0.0,
             nprocs: 4,
+            ingest: IngestBudget::unbounded(),
         }
     }
 }

@@ -7,7 +7,10 @@ use dibella_overlap::{
     account_read_exchange_2d, align_candidates_with, build_a_matrix, detect_candidates_2d_with,
     OverlapEdge, OverlapStats,
 };
-use dibella_seq::{count_kmers_distributed, parse_fasta, parse_fastq_filtered, ReadSet};
+use dibella_seq::{
+    count_kmers_distributed, count_kmers_streaming, fasta_batches, parse_fasta,
+    parse_fastq_filtered, read_set_batches, KmerTable, ReadSet,
+};
 use dibella_sparse::DistMat2D;
 use dibella_strgraph::{
     consensus_contig, extract_contigs, n50, transitive_reduction, Contig, ContigConsensus,
@@ -153,12 +156,81 @@ pub fn run_dibella_2d_on_reads(
     comm: &CommStats,
 ) -> Pipeline2dOutput {
     let grid = ProcessGrid::square_at_most(config.nprocs);
-    let mut timings = StageTimings::default();
-
     // CountKmer: two-pass distributed counting with Bloom filtering.
     let (table, t_count) =
         timed(|| count_kmers_distributed(reads, &config.kmer, grid.nprocs(), comm));
-    timings.count_kmer = t_count;
+    pipeline_from_table(reads, table, t_count, config, grid, comm)
+}
+
+/// Run the diBELLA 2D pipeline with the **streaming superstep** k-mer counter
+/// over an already-resident read set.
+///
+/// The counter replays the reads as bounded batches under
+/// `config.ingest` (one all-to-all exchange per batch per pass, never more
+/// than one in-flight batch), so its working set is capped by the budget even
+/// though the reads themselves stay resident for alignment and consensus.
+/// The resulting [`KmerTable`] — and therefore every downstream matrix — is
+/// bit-identical to [`run_dibella_2d_on_reads`] at any batch size and thread
+/// count (see [`count_kmers_streaming`]).  Fails if the estimated resident
+/// bytes of any superstep exceed `config.ingest.max_resident_bytes`.
+pub fn run_dibella_2d_streaming_on_reads(
+    reads: &ReadSet,
+    config: &PipelineConfig,
+    comm: &CommStats,
+) -> Result<Pipeline2dOutput, String> {
+    let grid = ProcessGrid::square_at_most(config.nprocs);
+    let (table, t_count) = timed(|| {
+        count_kmers_streaming(
+            || Ok(read_set_batches(reads, config.ingest)),
+            &config.kmer,
+            grid.nprocs(),
+            &config.ingest,
+            comm,
+        )
+    });
+    Ok(pipeline_from_table(reads, table?, t_count, config, grid, comm))
+}
+
+/// Run the diBELLA 2D pipeline on FASTA text through the streaming ingest
+/// path: the text is parsed in chunks (so records straddling chunk
+/// boundaries exercise the same incremental reader production uses) and the
+/// k-mer counter consumes the reads as supersteps under `config.ingest`.
+///
+/// Output is bit-identical to [`run_dibella_2d`] on the same input.
+pub fn run_dibella_2d_streaming(
+    fasta: &str,
+    config: &PipelineConfig,
+) -> Result<Pipeline2dOutput, String> {
+    const STREAM_CHUNK_BYTES: usize = 64 << 10;
+    let comm = CommStats::new();
+    let (reads, read_time) = timed(|| {
+        let mut rs = ReadSet::new();
+        for batch in fasta_batches(fasta, STREAM_CHUNK_BYTES, config.ingest) {
+            for rec in batch?.records {
+                rs.push(rec);
+            }
+        }
+        Ok::<ReadSet, String>(rs)
+    });
+    let reads = reads?;
+    let mut out = run_dibella_2d_streaming_on_reads(&reads, config, &comm)?;
+    out.timings.read_fastq = read_time;
+    out.comm = comm.snapshot();
+    Ok(out)
+}
+
+/// Everything after k-mer counting — shared verbatim by the monolithic and
+/// streaming entry points, which is what makes their outputs comparable
+/// stage for stage.
+fn pipeline_from_table(
+    reads: &ReadSet,
+    table: KmerTable,
+    t_count: f64,
+    config: &PipelineConfig,
+    grid: ProcessGrid,
+    comm: &CommStats,
+) -> Pipeline2dOutput {
+    let mut timings = StageTimings { count_kmer: t_count, ..StageTimings::default() };
 
     // CreateSpMat: the occurrence matrix A (Aᵀ is formed inside the SpGEMM).
     let (a, t_create) =
@@ -450,6 +522,96 @@ mod tests {
         // Every read is threaded into exactly one POA graph.
         let threaded: usize = out.consensus.iter().map(|c| c.reads).sum();
         assert_eq!(threaded, ds.reads.len());
+    }
+
+    #[test]
+    fn streaming_pipeline_is_bit_identical_to_monolithic() {
+        use dibella_seq::IngestBudget;
+        let ds = DatasetSpec::Tiny.generate(52);
+        let fasta = write_fasta(&ds.reads);
+        let cfg = tiny_config(4);
+        let mono = run_dibella_2d(&fasta, &cfg).unwrap();
+        let mono_string = mono.string_matrix.to_local_csr();
+        let mono_overlap = mono.overlap_matrix.to_local_csr();
+        for max_batch_reads in [1usize, 7, 64, usize::MAX] {
+            for threads in [1usize, 2, 4] {
+                let mut scfg = cfg;
+                scfg.ingest = IngestBudget::with_batch_reads(max_batch_reads);
+                let streamed = dibella_dist::with_threads(threads, || {
+                    run_dibella_2d_streaming(&fasta, &scfg)
+                })
+                .unwrap();
+                let ctx = format!("b={max_batch_reads} t={threads}");
+                assert_eq!(streamed.dims.reads, mono.dims.reads, "{ctx}");
+                assert_eq!(streamed.dims.kmers, mono.dims.kmers, "{ctx}");
+                assert_eq!(streamed.dims.a_density, mono.dims.a_density, "{ctx}");
+                assert_eq!(
+                    streamed.string_matrix.to_local_csr(),
+                    mono_string,
+                    "string matrix differs ({ctx})"
+                );
+                assert_eq!(
+                    streamed.overlap_matrix.to_local_csr(),
+                    mono_overlap,
+                    "overlap matrix differs ({ctx})"
+                );
+                let supersteps = streamed.comm.extras.get("ingest_supersteps").copied();
+                assert_eq!(
+                    supersteps,
+                    Some(ds.reads.len().div_ceil(max_batch_reads.min(ds.reads.len())) as u64),
+                    "{ctx}"
+                );
+                assert!(streamed.comm.extras.contains_key("ingest_batch_bytes_peak"), "{ctx}");
+                assert!(
+                    streamed.comm.extras.contains_key("ingest_resident_bytes_peak"),
+                    "{ctx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_a_matrix_pattern_matches_monolithic() {
+        use dibella_overlap::build_a_matrix;
+        use dibella_seq::{
+            count_kmers_distributed, count_kmers_streaming, read_set_batches, IngestBudget,
+        };
+        let ds = DatasetSpec::Tiny.generate(53);
+        let cfg = tiny_config(4);
+        let grid = ProcessGrid::square_at_most(cfg.nprocs);
+        let comm = CommStats::new();
+        let mono_table = count_kmers_distributed(&ds.reads, &cfg.kmer, grid.nprocs(), &comm);
+        let mono_a = build_a_matrix(&ds.reads, &mono_table, cfg.overlap.k, grid, grid.nprocs());
+        for max_batch_reads in [1usize, 7, 64] {
+            let budget = IngestBudget::with_batch_reads(max_batch_reads);
+            let stream_table = count_kmers_streaming(
+                || Ok(read_set_batches(&ds.reads, budget)),
+                &cfg.kmer,
+                grid.nprocs(),
+                &budget,
+                &comm,
+            )
+            .unwrap();
+            let stream_a =
+                build_a_matrix(&ds.reads, &stream_table, cfg.overlap.k, grid, grid.nprocs());
+            assert_eq!(
+                stream_a.to_local_csr().pattern(),
+                mono_a.to_local_csr().pattern(),
+                "A nnz pattern differs at b={max_batch_reads}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_pipeline_surfaces_budget_violations() {
+        use dibella_seq::IngestBudget;
+        let ds = DatasetSpec::Tiny.generate(54);
+        let fasta = write_fasta(&ds.reads);
+        let mut cfg = tiny_config(4);
+        cfg.ingest = IngestBudget::with_batch_reads(8);
+        cfg.ingest.max_resident_bytes = 16;
+        let err = run_dibella_2d_streaming(&fasta, &cfg).unwrap_err();
+        assert!(err.contains("over budget"), "unexpected error: {err}");
     }
 
     #[test]

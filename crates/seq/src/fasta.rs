@@ -279,31 +279,42 @@ fn parse_fastq_records(text: &str) -> Result<Vec<(ReadRecord, f64)>, String> {
 
     let parsed: Result<Vec<(ReadRecord, f64)>, String> = raw
         .into_par_iter()
-        .map(|(name, seq, qual)| {
-            let seq = DnaSeq::from_ascii(seq.as_bytes())
-                .map_err(|e| format!("record {name}: {e}"))?;
-            if qual.len() != seq.len() {
-                return Err(format!(
-                    "record {name}: quality length {} does not match sequence length {}",
-                    qual.len(),
-                    seq.len()
-                ));
-            }
-            let mut sum = 0u64;
-            for (i, &q) in qual.as_bytes().iter().enumerate() {
-                if !(PHRED_OFFSET..=b'~').contains(&q) {
-                    return Err(format!(
-                        "record {name}: invalid quality character {:?} at position {i}",
-                        q as char
-                    ));
-                }
-                sum += (q - PHRED_OFFSET) as u64;
-            }
-            let mean_q = if seq.is_empty() { 0.0 } else { sum as f64 / seq.len() as f64 };
-            Ok((ReadRecord { name, seq }, mean_q))
-        })
+        .map(|(name, seq, qual)| validate_fastq_record(name, seq, qual))
         .collect();
     parsed
+}
+
+/// Validate the three variable lines of one four-line FASTQ record (name,
+/// sequence, quality) into a [`ReadRecord`] plus its mean Phred quality.
+///
+/// Shared between the monolithic [`parse_fastq`] and the chunked
+/// [`crate::stream::FastqBatcher`], so both paths reject malformed records
+/// with identical wording.
+pub(crate) fn validate_fastq_record(
+    name: String,
+    seq: String,
+    qual: String,
+) -> Result<(ReadRecord, f64), String> {
+    let seq = DnaSeq::from_ascii(seq.as_bytes()).map_err(|e| format!("record {name}: {e}"))?;
+    if qual.len() != seq.len() {
+        return Err(format!(
+            "record {name}: quality length {} does not match sequence length {}",
+            qual.len(),
+            seq.len()
+        ));
+    }
+    let mut sum = 0u64;
+    for (i, &q) in qual.as_bytes().iter().enumerate() {
+        if !(PHRED_OFFSET..=b'~').contains(&q) {
+            return Err(format!(
+                "record {name}: invalid quality character {:?} at position {i}",
+                q as char
+            ));
+        }
+        sum += (q - PHRED_OFFSET) as u64;
+    }
+    let mean_q = if seq.is_empty() { 0.0 } else { sum as f64 / seq.len() as f64 };
+    Ok((ReadRecord { name, seq }, mean_q))
 }
 
 /// Parse FASTQ text and drop reads whose mean Phred quality is below

@@ -20,12 +20,13 @@
 //! format (2-bit packed), so the measured words can be compared against the
 //! model `W = n·l·k/(4·P)` of Table I.
 
-use crate::bloom::BloomFilter;
+use crate::bloom::{BloomFilter, ScalableBloom};
 use crate::fasta::ReadSet;
 use crate::kmer::{Kmer, KmerIter};
+use crate::stream::{IngestBudget, ReadBatch};
 use dibella_dist::{alltoallv_counted, par_ranks, BlockDist, CommPhase, CommStats};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Reliable k-mer selection parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -220,6 +221,212 @@ pub fn count_kmers_distributed(
     build_table(merged, selection)
 }
 
+/// Streaming superstep variant of [`count_kmers_distributed`]: consumes the
+/// input as bounded [`ReadBatch`]es instead of a resident [`ReadSet`].
+///
+/// Each batch is one BSP **superstep**: every rank extracts the canonical
+/// k-mers of its share of the batch, exchanges them to hash-assigned owners
+/// via one `alltoallv`, and the owners fold the incoming k-mers into their
+/// per-rank state before the next batch is touched — at no point is more
+/// than one batch (plus its in-flight exchange buffers) resident.  The
+/// two-pass structure is preserved across supersteps:
+///
+/// * **pass 1** feeds a [`ScalableBloom`] per owner (sized for an unknown
+///   stream, unlike the monolithic counter's count-sized [`BloomFilter`]);
+///   k-mers seen at least twice anywhere in the stream graduate to the
+///   owner's candidate set;
+/// * **pass 2** re-streams the same input (`batches` is called once per
+///   pass) and counts occurrences of the graduated candidates.
+///
+/// For `selection.min_count >= 2` (the paper's setting) the returned table is
+/// **bit-identical** to [`count_kmers_distributed`] and [`count_kmers_serial`]
+/// at every batch size and thread count: Bloom false positives only graduate
+/// extra *singletons*, whose full pass-2 count of 1 is then discarded by the
+/// reliable-range filter, and true `count >= 2` k-mers always graduate (no
+/// false negatives).
+///
+/// Resource accounting under `budget`:
+///
+/// * the estimated resident bytes of every superstep (current batch +
+///   exchange buffers on both sides + per-owner filter/candidate/count
+///   state) are checked against `budget.max_resident_bytes`; exceeding it is
+///   an `Err`, never silent growth;
+/// * [`CommStats`] gains three extras: `ingest_supersteps` (batches per
+///   pass), `ingest_batch_bytes_peak` (largest batch) and
+///   `ingest_resident_bytes_peak` (peak of the resident estimate).
+///
+/// Both passes must observe the same stream: if the second call to `batches`
+/// yields a different superstep or read count, the ingest fails.
+pub fn count_kmers_streaming<I, F>(
+    mut batches: F,
+    selection: &KmerSelection,
+    nprocs: usize,
+    budget: &IngestBudget,
+    stats: &CommStats,
+) -> Result<KmerTable, String>
+where
+    I: Iterator<Item = Result<ReadBatch, String>>,
+    F: FnMut() -> Result<I, String>,
+{
+    assert!(nprocs > 0);
+    let words_per_kmer = (selection.k as u64).div_ceil(32);
+    let mut peaks = IngestPeaks::default();
+
+    // Pass 1: Bloom pass, one superstep per batch.  Owner state (filter +
+    // candidate set) persists across supersteps so k-mers whose occurrences
+    // land in different batches still graduate.
+    let mut blooms: Vec<ScalableBloom> =
+        (0..nprocs).map(|_| ScalableBloom::with_rate(1 << 12, 0.01)).collect();
+    let mut candidates: Vec<HashSet<Kmer>> = vec![HashSet::new(); nprocs];
+    let mut pass1_steps = 0u64;
+    let mut pass1_reads = 0usize;
+    for batch in batches()? {
+        let batch = batch?;
+        if batch.is_empty() {
+            continue;
+        }
+        pass1_steps += 1;
+        pass1_reads += batch.len();
+        let send = extract_batch(&batch, selection, nprocs);
+        let owner_state: u64 = blooms.iter().map(|b| b.resident_bytes() as u64).sum::<u64>()
+            + kmer_set_bytes(&candidates);
+        peaks.observe(&batch, &send, owner_state, budget)?;
+        let incoming = alltoallv_counted(send, stats, CommPhase::KmerCounting, words_per_kmer);
+        for (owner, kmers) in incoming.into_iter().enumerate() {
+            for kmer in kmers {
+                if blooms[owner].insert(kmer.packed()) {
+                    candidates[owner].insert(kmer);
+                }
+            }
+        }
+    }
+    // The filters have done their job; only the candidate sets survive into
+    // pass 2, so the resident estimate drops accordingly.
+    drop(blooms);
+
+    // Pass 2: counting pass over a fresh stream of the same input.
+    let mut counts: Vec<HashMap<Kmer, u32>> =
+        candidates.iter().map(|c| HashMap::with_capacity(c.len())).collect();
+    let mut pass2_steps = 0u64;
+    let mut pass2_reads = 0usize;
+    for batch in batches()? {
+        let batch = batch?;
+        if batch.is_empty() {
+            continue;
+        }
+        pass2_steps += 1;
+        pass2_reads += batch.len();
+        let send = extract_batch(&batch, selection, nprocs);
+        let owner_state: u64 = kmer_set_bytes(&candidates)
+            + counts
+                .iter()
+                .map(|c| (c.len() * (std::mem::size_of::<Kmer>() + 4)) as u64 * 2)
+                .sum::<u64>();
+        peaks.observe(&batch, &send, owner_state, budget)?;
+        let incoming = alltoallv_counted(send, stats, CommPhase::KmerCounting, words_per_kmer);
+        for (owner, kmers) in incoming.into_iter().enumerate() {
+            for kmer in kmers {
+                if candidates[owner].contains(&kmer) {
+                    *counts[owner].entry(kmer).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    if pass2_steps != pass1_steps || pass2_reads != pass1_reads {
+        return Err(format!(
+            "streaming input changed between passes: pass 1 saw {pass1_reads} reads in \
+             {pass1_steps} supersteps, pass 2 saw {pass2_reads} reads in {pass2_steps}"
+        ));
+    }
+
+    stats.max_extra("ingest_supersteps", pass1_steps);
+    stats.max_extra("ingest_batch_bytes_peak", peaks.batch_bytes);
+    stats.max_extra("ingest_resident_bytes_peak", peaks.resident_bytes);
+
+    // Owners partition the k-mer space by hash, so the per-owner count maps
+    // are disjoint and merging is a plain union.
+    let mut merged: HashMap<Kmer, u32> = HashMap::new();
+    for owner_counts in counts {
+        merged.extend(owner_counts);
+    }
+    Ok(build_table(merged, selection))
+}
+
+/// One superstep's extraction: every rank walks its block of the batch and
+/// buckets canonical k-mers by owner rank.  The returned buffers are moved
+/// into the exchange (consumed, not cloned), so a superstep's send side is
+/// resident exactly once.
+fn extract_batch(
+    batch: &ReadBatch,
+    selection: &KmerSelection,
+    nprocs: usize,
+) -> Vec<Vec<Vec<Kmer>>> {
+    let batch_dist = BlockDist::new(batch.len(), nprocs);
+    par_ranks(nprocs, |rank| {
+        let mut bufs: Vec<Vec<Kmer>> = (0..nprocs).map(|_| Vec::new()).collect();
+        for idx in batch_dist.range(rank) {
+            let seq = &batch.records[idx].seq;
+            if seq.len() < selection.k {
+                continue;
+            }
+            for (_, kmer) in KmerIter::new(seq, selection.k) {
+                let canon = kmer.canonical().kmer;
+                let owner = (canon.hash64() % nprocs as u64) as usize;
+                bufs[owner].push(canon);
+            }
+        }
+        bufs
+    })
+}
+
+/// Rough heap bytes of the per-owner candidate sets (2x for hash-table
+/// overhead — an estimate, cross-checked by the allocator-based tests).
+fn kmer_set_bytes(sets: &[HashSet<Kmer>]) -> u64 {
+    sets.iter().map(|s| (s.len() * std::mem::size_of::<Kmer>()) as u64 * 2).sum()
+}
+
+/// Running peaks of the streaming ingest's resident-byte estimate.
+#[derive(Default)]
+struct IngestPeaks {
+    batch_bytes: u64,
+    resident_bytes: u64,
+}
+
+impl IngestPeaks {
+    /// Fold one superstep into the peaks and enforce the resident budget.
+    ///
+    /// The estimate charges the batch itself, the exchange buffers twice
+    /// (send and receive sides are briefly co-resident inside the
+    /// all-to-all) and the persistent owner state.
+    fn observe(
+        &mut self,
+        batch: &ReadBatch,
+        send: &[Vec<Vec<Kmer>>],
+        owner_state: u64,
+        budget: &IngestBudget,
+    ) -> Result<(), String> {
+        let batch_bytes = batch.bytes() as u64;
+        let exchange_bytes: u64 = send
+            .iter()
+            .flatten()
+            .map(|buf| (buf.len() * std::mem::size_of::<Kmer>()) as u64)
+            .sum();
+        let resident = batch_bytes + 2 * exchange_bytes + owner_state;
+        self.batch_bytes = self.batch_bytes.max(batch_bytes);
+        self.resident_bytes = self.resident_bytes.max(resident);
+        if resident > budget.max_resident_bytes as u64 {
+            return Err(format!(
+                "streaming ingest over budget: estimated {resident} resident bytes \
+                 (batch {batch_bytes} + exchange 2x{exchange_bytes} + owner state \
+                 {owner_state}) exceeds max_resident_bytes = {}; lower \
+                 max_batch_reads/max_batch_bytes or raise the budget",
+                budget.max_resident_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
 fn build_table(counts: HashMap<Kmer, u32>, selection: &KmerSelection) -> KmerTable {
     let mut reliable: Vec<(Kmer, u32)> = counts
         .into_iter()
@@ -363,6 +570,182 @@ mod tests {
         let table = count_kmers_serial(&reads, &sel);
         assert!(!table.is_empty());
         // No panic and the 3-base read contributed nothing.
+    }
+
+    /// Assert two tables are bit-identical: same columns, same k-mers, same
+    /// counts, same order.
+    fn assert_tables_identical(a: &KmerTable, b: &KmerTable, ctx: &str) {
+        assert_eq!(a.len(), b.len(), "table size mismatch ({ctx})");
+        for ((ca, ka, na), (cb, kb, nb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ca, cb, "column order mismatch ({ctx})");
+            assert_eq!(ka, kb, "k-mer mismatch at column {ca} ({ctx})");
+            assert_eq!(na, nb, "count mismatch at column {ca} ({ctx})");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_monolithic_at_fixed_batch_sizes_and_threads() {
+        use crate::stream::{read_set_batches, IngestBudget};
+        let ds = DatasetSpec::Tiny.generate(11);
+        let sel = KmerSelection { k: 11, min_count: 2, max_count: 30 };
+        for nprocs in [1usize, 3] {
+            let mono_stats = CommStats::new();
+            let mono = count_kmers_distributed(&ds.reads, &sel, nprocs, &mono_stats);
+            for max_batch_reads in [1usize, 7, 64, usize::MAX] {
+                for threads in [1usize, 2, 4] {
+                    let budget = IngestBudget::with_batch_reads(max_batch_reads);
+                    let stats = CommStats::new();
+                    let streamed = dibella_dist::with_threads(threads, || {
+                        count_kmers_streaming(
+                            || Ok(read_set_batches(&ds.reads, budget)),
+                            &sel,
+                            nprocs,
+                            &budget,
+                            &stats,
+                        )
+                    })
+                    .unwrap();
+                    let ctx = format!("P={nprocs} b={max_batch_reads} t={threads}");
+                    assert_tables_identical(&streamed, &mono, &ctx);
+                    assert_eq!(
+                        stats.extra("ingest_supersteps") as usize,
+                        ds.reads.len().div_ceil(max_batch_reads.min(ds.reads.len())),
+                        "superstep count ({ctx})"
+                    );
+                    assert!(stats.extra("ingest_batch_bytes_peak") > 0);
+                    assert!(
+                        stats.extra("ingest_resident_bytes_peak")
+                            >= stats.extra("ingest_batch_bytes_peak")
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_batch_bytes_peak_is_exactly_the_largest_batch() {
+        // The exchange consumes its send buffers, so the recorded peak must
+        // equal the largest batch exactly — any residual cloning/doubling of
+        // batch state would inflate it.
+        use crate::stream::{read_set_batches, IngestBudget};
+        let ds = DatasetSpec::Tiny.generate(12);
+        let budget = IngestBudget::with_batch_reads(5);
+        let expected_peak = read_set_batches(&ds.reads, budget)
+            .map(|b| b.unwrap().bytes() as u64)
+            .max()
+            .unwrap();
+        let sel = KmerSelection { k: 9, min_count: 2, max_count: 40 };
+        let stats = CommStats::new();
+        count_kmers_streaming(
+            || Ok(read_set_batches(&ds.reads, budget)),
+            &sel,
+            4,
+            &budget,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(stats.extra("ingest_batch_bytes_peak"), expected_peak);
+    }
+
+    #[test]
+    fn streaming_enforces_the_resident_budget() {
+        use crate::stream::{read_set_batches, IngestBudget};
+        let ds = DatasetSpec::Tiny.generate(13);
+        let sel = KmerSelection { k: 11, min_count: 2, max_count: 30 };
+        // A 1-byte resident budget must fail loudly, not grow silently.
+        let mut budget = IngestBudget::with_batch_reads(4);
+        budget.max_resident_bytes = 1;
+        let stats = CommStats::new();
+        let err = count_kmers_streaming(
+            || Ok(read_set_batches(&ds.reads, budget)),
+            &sel,
+            2,
+            &budget,
+            &stats,
+        )
+        .unwrap_err();
+        assert!(err.contains("over budget"), "unexpected error: {err}");
+        assert!(err.contains("max_resident_bytes = 1"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn streaming_rejects_input_that_changes_between_passes() {
+        use crate::stream::{read_set_batches, IngestBudget};
+        let ds_a = DatasetSpec::Tiny.generate(14);
+        let ds_b = DatasetSpec::Tiny.generate(15);
+        let sel = KmerSelection { k: 11, min_count: 2, max_count: 30 };
+        let budget = IngestBudget::with_batch_reads(8);
+        let stats = CommStats::new();
+        let mut pass = 0;
+        let err = count_kmers_streaming(
+            || {
+                pass += 1;
+                Ok(read_set_batches(if pass == 1 { &ds_a.reads } else { &ds_b.reads }, budget))
+            },
+            &sel,
+            2,
+            &budget,
+            &stats,
+        )
+        .unwrap_err();
+        assert!(err.contains("changed between passes"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn streaming_propagates_batch_errors() {
+        use crate::stream::IngestBudget;
+        let sel = KmerSelection { k: 5, min_count: 2, max_count: 30 };
+        let budget = IngestBudget::unbounded();
+        let stats = CommStats::new();
+        let err = count_kmers_streaming(
+            || Ok(std::iter::once(Err("bad record".to_string()))),
+            &sel,
+            2,
+            &budget,
+            &stats,
+        )
+        .unwrap_err();
+        assert_eq!(err, "bad record");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_streaming_equals_monolithic_at_random_batch_sizes(
+            seed in 0u64..200,
+            max_batch_reads in 1usize..=64,
+            nprocs in 1usize..6,
+            threads_idx in 0usize..3,
+        ) {
+            use crate::stream::{read_set_batches, IngestBudget};
+            let threads = [1usize, 2, 4][threads_idx];
+            let ds = DatasetSpec::Tiny.generate_with_length(2_000, seed);
+            let sel = KmerSelection { k: 9, min_count: 2, max_count: 50 };
+            let mono_stats = CommStats::new();
+            let mono = count_kmers_distributed(&ds.reads, &sel, nprocs, &mono_stats);
+            let budget = IngestBudget::with_batch_reads(max_batch_reads);
+            let stats = CommStats::new();
+            let streamed = dibella_dist::with_threads(threads, || {
+                count_kmers_streaming(
+                    || Ok(read_set_batches(&ds.reads, budget)),
+                    &sel,
+                    nprocs,
+                    &budget,
+                    &stats,
+                )
+            });
+            let streamed = streamed.unwrap();
+            prop_assert_eq!(streamed.len(), mono.len());
+            for ((ca, ka, na), (cb, kb, nb)) in streamed.iter().zip(mono.iter()) {
+                prop_assert_eq!(ca, cb);
+                prop_assert_eq!(ka, kb);
+                prop_assert_eq!(na, nb);
+            }
+            prop_assert_eq!(
+                stats.extra("ingest_supersteps") as usize,
+                ds.reads.len().div_ceil(max_batch_reads)
+            );
+        }
     }
 
     proptest! {

@@ -28,16 +28,23 @@ pub mod fasta;
 pub mod kmer;
 pub mod kmer_counter;
 pub mod simulate;
+pub mod stream;
 
-pub use bloom::BloomFilter;
+pub use bloom::{BloomFilter, ScalableBloom};
 pub use dna::{complement_code, DnaSeq, Strand};
 pub use fasta::{
     parse_fasta, parse_fasta_file, parse_fastq, parse_fastq_file, parse_fastq_filtered,
     write_fasta, write_fasta_file, FastqFilterStats, ReadRecord, ReadSet,
 };
 pub use kmer::{CanonicalKmer, Kmer, KmerIter};
-pub use kmer_counter::{count_kmers_distributed, count_kmers_serial, KmerSelection, KmerTable};
+pub use kmer_counter::{
+    count_kmers_distributed, count_kmers_serial, count_kmers_streaming, KmerSelection, KmerTable,
+};
 pub use simulate::{
     build_scenario, DatasetSpec, LengthModel, ReadSimConfig, ScenarioKind, ScenarioParams,
     SimulatedDataset, Topology,
+};
+pub use stream::{
+    fasta_batches, fasta_batches_file, fastq_batches, read_set_batches, FastaBatcher,
+    FastqBatcher, IngestBudget, LineAssembler, ReadBatch,
 };

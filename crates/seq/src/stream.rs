@@ -1,0 +1,901 @@
+//! Chunked, bounded-memory FASTA/FASTQ ingest.
+//!
+//! The monolithic parsers in [`crate::fasta`] require the whole input text in
+//! memory; at the scales the paper targets no rank can hold its input, so the
+//! real system streams fixed-size I/O chunks per rank and processes reads in
+//! bounded batches (the BSP *supersteps* of the streaming k-mer counter in
+//! [`crate::kmer_counter`]).  This module is the chunk layer:
+//!
+//! * [`LineAssembler`] — turns arbitrary byte chunks into logical lines,
+//!   handling records (and CRLF terminators) that straddle chunk boundaries;
+//! * [`FastaBatcher`] / [`FastqBatcher`] — incremental record assembly with
+//!   the *same* validation and line-ending tolerance as the monolithic
+//!   parsers, sealing [`ReadBatch`]es at the [`IngestBudget`] bounds;
+//! * [`fasta_batches`] / [`fastq_batches`] — batch iterators over in-memory
+//!   text fed through the chunk path (tests and the pipeline entry point);
+//! * [`fasta_batches_file`] — batch iterator over a FASTA file read
+//!   `chunk_bytes` at a time, so peak memory is one chunk plus one batch;
+//! * [`read_set_batches`] — batch views over an already-resident
+//!   [`ReadSet`], for replaying supersteps without re-parsing.
+//!
+//! Every path yields byte-identical records to the monolithic parsers for
+//! any chunk size, which is what makes the streaming pipeline's outputs
+//! bit-identical to the monolithic pipeline's.
+
+use crate::dna::DnaSeq;
+use crate::fasta::{validate_fastq_record, ReadRecord, ReadSet};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::path::Path;
+
+/// The memory budget of a streaming ingest.
+///
+/// All three bounds default to "unbounded" (`usize::MAX`); setting any of
+/// them makes the corresponding resource hard-capped:
+///
+/// * a [`ReadBatch`] is sealed before it would exceed `max_batch_reads`
+///   reads or `max_batch_bytes` heap bytes (a batch never splits a read, so
+///   one read larger than `max_batch_bytes` still forms a singleton batch);
+/// * the streaming k-mer counter fails with an error if its estimated
+///   resident bytes (current batch + in-flight exchange buffers + per-owner
+///   filter/table state) ever exceed `max_resident_bytes`, rather than
+///   silently growing past the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestBudget {
+    /// Maximum reads per batch (one superstep ingests one batch per rank).
+    pub max_batch_reads: usize,
+    /// Maximum heap bytes per batch (names + 1-byte-per-base sequences).
+    pub max_batch_bytes: usize,
+    /// Hard cap on the streaming ingest's estimated resident bytes.
+    pub max_resident_bytes: usize,
+}
+
+impl Default for IngestBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl IngestBudget {
+    /// No bounds: one batch holding the whole input, no resident cap — the
+    /// monolithic behaviour, through the streaming machinery.
+    pub fn unbounded() -> Self {
+        Self {
+            max_batch_reads: usize::MAX,
+            max_batch_bytes: usize::MAX,
+            max_resident_bytes: usize::MAX,
+        }
+    }
+
+    /// Bound batches by read count only.
+    pub fn with_batch_reads(max_batch_reads: usize) -> Self {
+        Self { max_batch_reads, ..Self::unbounded() }
+    }
+
+    /// Bound batches by heap bytes only.
+    pub fn with_batch_bytes(max_batch_bytes: usize) -> Self {
+        Self { max_batch_bytes, ..Self::unbounded() }
+    }
+}
+
+/// One bounded batch of parsed reads — the unit of a streaming superstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadBatch {
+    /// Global index of the first read of this batch (reads are numbered in
+    /// input order across batches, matching the monolithic [`ReadSet`]).
+    pub first_read: usize,
+    /// The records of this batch, in input order.
+    pub records: Vec<ReadRecord>,
+}
+
+impl ReadBatch {
+    /// Number of reads in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch holds no reads.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Estimated heap bytes of the batch: name bytes plus one byte per base
+    /// (the [`DnaSeq`] in-memory layout) — the quantity
+    /// [`IngestBudget::max_batch_bytes`] bounds.
+    pub fn bytes(&self) -> usize {
+        self.records.iter().map(record_bytes).sum()
+    }
+}
+
+/// Estimated heap bytes of one record (see [`ReadBatch::bytes`]).
+pub fn record_bytes(rec: &ReadRecord) -> usize {
+    rec.name.len() + rec.seq.len()
+}
+
+/// Incremental splitter of byte chunks into logical lines.
+///
+/// Accepts the same line endings as the monolithic parsers' `logical_lines`
+/// — Unix (`\n`), Windows (`\r\n`) and classic-Mac (`\r`), in any mixture,
+/// with or without a final terminator — but over a *sequence of chunks*: a
+/// line (or a `\r\n` pair) split across a chunk boundary is carried over and
+/// completed by the next chunk.  Feeding an empty chunk is a no-op.
+#[derive(Debug, Default)]
+pub struct LineAssembler {
+    carry: Vec<u8>,
+    pending_lf: bool,
+    lines_emitted: u64,
+}
+
+impl LineAssembler {
+    /// A fresh assembler with an empty carry buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of complete logical lines emitted so far (for error messages
+    /// that report 1-based line numbers like the monolithic parsers).
+    pub fn lines_emitted(&self) -> u64 {
+        self.lines_emitted
+    }
+
+    /// Feed one chunk, calling `emit` for every logical line completed by it.
+    ///
+    /// Lines are borrowed from the internal carry buffer, so `emit` must copy
+    /// what it keeps.  Returns the first error `emit` produces (or a UTF-8
+    /// error naming the offending line).
+    pub fn push(
+        &mut self,
+        chunk: &[u8],
+        mut emit: impl FnMut(&str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        let mut rest = chunk;
+        // A '\r' at the end of the previous chunk already emitted its line;
+        // an immediately following '\n' belongs to the same CRLF terminator.
+        if self.pending_lf {
+            self.pending_lf = false;
+            if let [b'\n', tail @ ..] = rest {
+                rest = tail;
+            }
+        }
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n' || b == b'\r') {
+            self.carry.extend_from_slice(&rest[..pos]);
+            self.emit_carry(&mut emit)?;
+            if rest[pos] == b'\r' {
+                match rest.get(pos + 1) {
+                    Some(b'\n') => rest = &rest[pos + 2..],
+                    Some(_) => rest = &rest[pos + 1..],
+                    // Chunk ends exactly on the '\r': the matching '\n' may
+                    // open the next chunk.
+                    None => {
+                        self.pending_lf = true;
+                        rest = &[];
+                    }
+                }
+            } else {
+                rest = &rest[pos + 1..];
+            }
+        }
+        self.carry.extend_from_slice(rest);
+        Ok(())
+    }
+
+    /// Flush the final unterminated line, if any.
+    pub fn finish(&mut self, mut emit: impl FnMut(&str) -> Result<(), String>) -> Result<(), String> {
+        self.pending_lf = false;
+        if self.carry.is_empty() {
+            return Ok(());
+        }
+        self.emit_carry(&mut emit)
+    }
+
+    fn emit_carry(
+        &mut self,
+        emit: &mut impl FnMut(&str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.lines_emitted += 1;
+        let line = std::str::from_utf8(&self.carry)
+            .map_err(|e| format!("line {}: invalid UTF-8: {e}", self.lines_emitted))?;
+        let result = emit(line);
+        self.carry.clear();
+        result
+    }
+}
+
+/// Shared budget-driven batch sealing for the FASTA/FASTQ batchers.
+#[derive(Debug)]
+struct BatchSealer {
+    budget: IngestBudget,
+    batch: Vec<ReadRecord>,
+    batch_bytes: usize,
+    first_read: usize,
+    next_read: usize,
+    ready: VecDeque<ReadBatch>,
+}
+
+impl BatchSealer {
+    fn new(budget: IngestBudget) -> Self {
+        Self {
+            budget,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            first_read: 0,
+            next_read: 0,
+            ready: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, record: ReadRecord) {
+        let bytes = record_bytes(&record);
+        // Seal *before* pushing when the record would overflow the byte
+        // budget, so batches stay within `max_batch_bytes` (except a single
+        // read larger than the whole budget, which must go somewhere).
+        if !self.batch.is_empty()
+            && self.batch_bytes.saturating_add(bytes) > self.budget.max_batch_bytes
+        {
+            self.seal();
+        }
+        self.batch.push(record);
+        self.batch_bytes += bytes;
+        self.next_read += 1;
+        if self.batch.len() >= self.budget.max_batch_reads
+            || self.batch_bytes >= self.budget.max_batch_bytes
+        {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let records = std::mem::take(&mut self.batch);
+        self.ready.push_back(ReadBatch { first_read: self.first_read, records });
+        self.first_read = self.next_read;
+        self.batch_bytes = 0;
+    }
+
+    fn next_ready(&mut self) -> Option<ReadBatch> {
+        self.ready.pop_front()
+    }
+}
+
+/// Incremental FASTA parser over byte chunks, yielding [`ReadBatch`]es.
+///
+/// Accepts exactly the inputs [`crate::fasta::parse_fasta`] accepts (same
+/// record grammar, multi-line sequences, blank lines, line-ending tolerance,
+/// same error wording for empty names / data before the first header /
+/// invalid bases) and produces byte-identical records for any chunk size.
+#[derive(Debug)]
+pub struct FastaBatcher {
+    lines: LineAssembler,
+    current_name: Option<String>,
+    current_seq: String,
+    sealer: BatchSealer,
+}
+
+impl FastaBatcher {
+    /// A batcher sealing batches at the given budget's batch bounds.
+    pub fn new(budget: IngestBudget) -> Self {
+        Self {
+            lines: LineAssembler::new(),
+            current_name: None,
+            current_seq: String::new(),
+            sealer: BatchSealer::new(budget),
+        }
+    }
+
+    /// Feed one chunk of FASTA bytes (an empty chunk is a no-op).
+    pub fn push_chunk(&mut self, chunk: &[u8]) -> Result<(), String> {
+        let Self { lines, current_name, current_seq, sealer } = self;
+        lines.push(chunk, |line| Self::take_line(line, current_name, current_seq, sealer))
+    }
+
+    /// Signal end of input: flushes the trailing record and seals the final
+    /// (possibly smaller) batch.
+    pub fn finish(&mut self) -> Result<(), String> {
+        let Self { lines, current_name, current_seq, sealer } = self;
+        lines.finish(|line| Self::take_line(line, current_name, current_seq, sealer))?;
+        if let Some(name) = current_name.take() {
+            sealer.push(Self::complete(name, std::mem::take(current_seq))?);
+        }
+        sealer.seal();
+        Ok(())
+    }
+
+    /// Pop the next sealed batch, if any.
+    pub fn next_batch(&mut self) -> Option<ReadBatch> {
+        self.sealer.next_ready()
+    }
+
+    fn take_line(
+        line: &str,
+        current_name: &mut Option<String>,
+        current_seq: &mut String,
+        sealer: &mut BatchSealer,
+    ) -> Result<(), String> {
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(name) = current_name.take() {
+                sealer.push(Self::complete(name, std::mem::take(current_seq))?);
+            }
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err("record with empty name".to_string());
+            }
+            *current_name = Some(name);
+        } else {
+            if current_name.is_none() {
+                return Err("sequence data before the first '>' header".to_string());
+            }
+            current_seq.push_str(line);
+        }
+        Ok(())
+    }
+
+    fn complete(name: String, seq: String) -> Result<ReadRecord, String> {
+        let seq =
+            DnaSeq::from_ascii(seq.as_bytes()).map_err(|e| format!("record {name}: {e}"))?;
+        Ok(ReadRecord { name, seq })
+    }
+}
+
+/// The four logical lines of a FASTQ record being assembled.
+#[derive(Debug, Default)]
+enum FastqField {
+    /// Waiting for the next `@name` header.
+    #[default]
+    Header,
+    /// Header seen; waiting for the sequence line.
+    Seq(String),
+    /// Sequence seen; waiting for the `+` separator.
+    Sep(String, String),
+    /// Separator seen; waiting for the quality line.
+    Qual(String, String),
+}
+
+/// Incremental four-line FASTQ parser over byte chunks, yielding
+/// [`ReadBatch`]es after an optional mean-quality filter.
+///
+/// Enforces the same strict record format as [`crate::fasta::parse_fastq`]
+/// (header / one sequence line / `+` separator / quality line of matching
+/// length), with the same line-ending tolerance and error wording, for any
+/// chunk size.  Reads whose mean Phred quality falls below
+/// `min_mean_quality` are dropped and counted, mirroring
+/// [`crate::fasta::parse_fastq_filtered`].
+#[derive(Debug)]
+pub struct FastqBatcher {
+    lines: LineAssembler,
+    state: FastqField,
+    min_mean_quality: f64,
+    dropped_low_quality: usize,
+    sealer: BatchSealer,
+}
+
+impl FastqBatcher {
+    /// A batcher with the given batch budget and mean-quality floor
+    /// (0.0 keeps everything).
+    pub fn new(budget: IngestBudget, min_mean_quality: f64) -> Self {
+        Self {
+            lines: LineAssembler::new(),
+            state: FastqField::Header,
+            min_mean_quality,
+            dropped_low_quality: 0,
+            sealer: BatchSealer::new(budget),
+        }
+    }
+
+    /// Feed one chunk of FASTQ bytes (an empty chunk is a no-op).
+    pub fn push_chunk(&mut self, chunk: &[u8]) -> Result<(), String> {
+        let Self { lines, state, min_mean_quality, dropped_low_quality, sealer } = self;
+        let lineno_base = lines.lines_emitted();
+        let mut lineno = lineno_base;
+        lines.push(chunk, |line| {
+            lineno += 1;
+            Self::take_line(line, lineno, state, *min_mean_quality, dropped_low_quality, sealer)
+        })
+    }
+
+    /// Signal end of input: rejects a truncated trailing record and seals the
+    /// final batch.
+    pub fn finish(&mut self) -> Result<(), String> {
+        let Self { lines, state, min_mean_quality, dropped_low_quality, sealer } = self;
+        let mut lineno = lines.lines_emitted();
+        lines.finish(|line| {
+            lineno += 1;
+            Self::take_line(line, lineno, state, *min_mean_quality, dropped_low_quality, sealer)
+        })?;
+        match std::mem::take(state) {
+            FastqField::Header => {}
+            FastqField::Seq(name) => return Err(format!("record {name}: missing sequence line")),
+            FastqField::Sep(name, _) => {
+                return Err(format!("record {name}: missing '+' separator"))
+            }
+            FastqField::Qual(name, _) => {
+                return Err(format!("record {name}: missing quality line"))
+            }
+        }
+        sealer.seal();
+        Ok(())
+    }
+
+    /// Pop the next sealed batch, if any.
+    pub fn next_batch(&mut self) -> Option<ReadBatch> {
+        self.sealer.next_ready()
+    }
+
+    /// Reads dropped by the mean-quality filter so far.
+    pub fn dropped_low_quality(&self) -> usize {
+        self.dropped_low_quality
+    }
+
+    fn take_line(
+        line: &str,
+        lineno: u64,
+        state: &mut FastqField,
+        min_mean_quality: f64,
+        dropped_low_quality: &mut usize,
+        sealer: &mut BatchSealer,
+    ) -> Result<(), String> {
+        if line.trim_end().is_empty() {
+            return Ok(());
+        }
+        *state = match std::mem::take(state) {
+            FastqField::Header => {
+                let header = line.trim_end();
+                let Some(rest) = header.strip_prefix('@') else {
+                    return Err(format!("line {lineno}: expected '@' header, found {header:?}"));
+                };
+                let name = rest.split_whitespace().next().unwrap_or("").to_string();
+                if name.is_empty() {
+                    return Err(format!("line {lineno}: record with empty name"));
+                }
+                FastqField::Seq(name)
+            }
+            FastqField::Seq(name) => FastqField::Sep(name, line.trim_end().to_string()),
+            FastqField::Sep(name, seq) => {
+                let sep = line.trim_end();
+                if !sep.starts_with('+') {
+                    return Err(format!(
+                        "line {lineno}: record {name}: expected '+' separator, found {sep:?}"
+                    ));
+                }
+                FastqField::Qual(name, seq)
+            }
+            FastqField::Qual(name, seq) => {
+                let (record, mean_q) = validate_fastq_record(name, seq, line.trim_end().to_string())?;
+                if mean_q >= min_mean_quality {
+                    sealer.push(record);
+                } else {
+                    *dropped_low_quality += 1;
+                }
+                FastqField::Header
+            }
+        };
+        Ok(())
+    }
+}
+
+/// Iterator state shared by the text- and file-backed FASTA batch streams.
+enum FastaSource<'a> {
+    Text { text: &'a [u8], pos: usize },
+    File { file: std::fs::File, buf: Vec<u8> },
+}
+
+/// Iterator of [`ReadBatch`]es from FASTA input fed through the chunk path.
+///
+/// Yields `Err` at most once (the first parse/I/O error) and then fuses.
+pub struct FastaBatches<'a> {
+    source: FastaSource<'a>,
+    chunk_bytes: usize,
+    batcher: FastaBatcher,
+    finished: bool,
+    failed: bool,
+}
+
+impl Iterator for FastaBatches<'_> {
+    type Item = Result<ReadBatch, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(batch) = self.batcher.next_batch() {
+                return Some(Ok(batch));
+            }
+            if self.finished {
+                return None;
+            }
+            if let Err(e) = self.step() {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+impl FastaBatches<'_> {
+    /// Read and feed one chunk, or finish the batcher at end of input.
+    fn step(&mut self) -> Result<(), String> {
+        match &mut self.source {
+            FastaSource::Text { text, pos } => {
+                if *pos >= text.len() {
+                    self.finished = true;
+                    return self.batcher.finish();
+                }
+                let end = (*pos + self.chunk_bytes).min(text.len());
+                let chunk = &text[*pos..end];
+                *pos = end;
+                self.batcher.push_chunk(chunk)
+            }
+            FastaSource::File { file, buf } => {
+                buf.resize(self.chunk_bytes, 0);
+                let n = file.read(buf).map_err(|e| format!("reading FASTA chunk: {e}"))?;
+                if n == 0 {
+                    self.finished = true;
+                    return self.batcher.finish();
+                }
+                self.batcher.push_chunk(&buf[..n])
+            }
+        }
+    }
+}
+
+/// Stream batches from in-memory FASTA text, fed in `chunk_bytes`-sized
+/// chunks through the same incremental path as the file reader (so tests can
+/// pin chunk-boundary behaviour without touching disk).
+pub fn fasta_batches(text: &str, chunk_bytes: usize, budget: IngestBudget) -> FastaBatches<'_> {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    FastaBatches {
+        source: FastaSource::Text { text: text.as_bytes(), pos: 0 },
+        chunk_bytes,
+        batcher: FastaBatcher::new(budget),
+        finished: false,
+        failed: false,
+    }
+}
+
+/// Stream batches from a FASTA file, reading `chunk_bytes` at a time: peak
+/// memory is one chunk plus one in-flight batch, independent of file size.
+pub fn fasta_batches_file(
+    path: impl AsRef<Path>,
+    chunk_bytes: usize,
+    budget: IngestBudget,
+) -> Result<FastaBatches<'static>, String> {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| format!("opening {}: {e}", path.as_ref().display()))?;
+    Ok(FastaBatches {
+        source: FastaSource::File { file, buf: Vec::new() },
+        chunk_bytes,
+        batcher: FastaBatcher::new(budget),
+        finished: false,
+        failed: false,
+    })
+}
+
+/// Iterator of quality-filtered [`ReadBatch`]es from FASTQ text fed through
+/// the chunk path (the FASTQ twin of [`fasta_batches`]).
+pub struct FastqBatches<'a> {
+    text: &'a [u8],
+    pos: usize,
+    chunk_bytes: usize,
+    batcher: FastqBatcher,
+    finished: bool,
+    failed: bool,
+}
+
+impl Iterator for FastqBatches<'_> {
+    type Item = Result<ReadBatch, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(batch) = self.batcher.next_batch() {
+                return Some(Ok(batch));
+            }
+            if self.finished {
+                return None;
+            }
+            let result = if self.pos >= self.text.len() {
+                self.finished = true;
+                self.batcher.finish()
+            } else {
+                let end = (self.pos + self.chunk_bytes).min(self.text.len());
+                let chunk = &self.text[self.pos..end];
+                self.pos = end;
+                self.batcher.push_chunk(chunk)
+            };
+            if let Err(e) = result {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+impl FastqBatches<'_> {
+    /// Reads dropped by the mean-quality filter so far.
+    pub fn dropped_low_quality(&self) -> usize {
+        self.batcher.dropped_low_quality()
+    }
+}
+
+/// Stream quality-filtered batches from in-memory FASTQ text in
+/// `chunk_bytes`-sized chunks.
+pub fn fastq_batches(
+    text: &str,
+    chunk_bytes: usize,
+    budget: IngestBudget,
+    min_mean_quality: f64,
+) -> FastqBatches<'_> {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    FastqBatches {
+        text: text.as_bytes(),
+        pos: 0,
+        chunk_bytes,
+        batcher: FastqBatcher::new(budget, min_mean_quality),
+        finished: false,
+        failed: false,
+    }
+}
+
+/// Stream batch views over an already-resident [`ReadSet`].
+///
+/// The streaming k-mer counter consumes each pass through a fresh batch
+/// iterator; when the reads are already in memory (the pipeline keeps them
+/// for alignment and consensus anyway), replaying supersteps from the
+/// `ReadSet` avoids re-parsing while keeping the per-superstep exchange
+/// buffers bounded by the same budget.  Each batch clones its bounded slice
+/// of records — at most one batch of copies is alive at a time.
+pub fn read_set_batches(
+    reads: &ReadSet,
+    budget: IngestBudget,
+) -> impl Iterator<Item = Result<ReadBatch, String>> + '_ {
+    let mut next_read = 0usize;
+    std::iter::from_fn(move || {
+        if next_read >= reads.len() {
+            return None;
+        }
+        let first_read = next_read;
+        let mut records = Vec::new();
+        let mut bytes = 0usize;
+        while next_read < reads.len() && records.len() < budget.max_batch_reads {
+            let rec = reads.record(next_read);
+            let rec_bytes = record_bytes(rec);
+            if !records.is_empty() && bytes.saturating_add(rec_bytes) > budget.max_batch_bytes {
+                break;
+            }
+            records.push(rec.clone());
+            bytes += rec_bytes;
+            next_read += 1;
+            if bytes >= budget.max_batch_bytes {
+                break;
+            }
+        }
+        Some(Ok(ReadBatch { first_read, records }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::{parse_fasta, parse_fastq, parse_fastq_filtered, write_fasta};
+    use crate::simulate::DatasetSpec;
+
+    /// Collect every record from a batch stream, checking `first_read`
+    /// bookkeeping along the way.
+    fn collect(iter: impl Iterator<Item = Result<ReadBatch, String>>) -> Result<ReadSet, String> {
+        let mut rs = ReadSet::new();
+        for batch in iter {
+            let batch = batch?;
+            assert_eq!(batch.first_read, rs.len(), "batch first_read must be contiguous");
+            assert!(!batch.is_empty(), "batchers must not emit empty batches");
+            for rec in batch.records {
+                rs.push(rec);
+            }
+        }
+        Ok(rs)
+    }
+
+    const SAMPLE: &str = ">read1 some description\nACGT\nACGT\n\n>read2\nTTTT\n>read3\nG\n";
+    const FASTQ: &str = "@read1 instrument=x\nACGT\n+\nII5I\n@read2\nTTTTT\n+read2\n!!!!!\n";
+
+    #[test]
+    fn chunked_fasta_matches_monolithic_at_every_chunk_size() {
+        let expected = parse_fasta(SAMPLE).unwrap();
+        for chunk_bytes in 1..=SAMPLE.len() + 1 {
+            let got =
+                collect(fasta_batches(SAMPLE, chunk_bytes, IngestBudget::unbounded())).unwrap();
+            assert_eq!(got, expected, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn chunked_fasta_record_straddles_chunk_boundary() {
+        // chunk_bytes=3 splits the header ">read1 som|e descript|ion" and the
+        // sequence lines across many chunks; the records must still assemble.
+        let got = collect(fasta_batches(SAMPLE, 3, IngestBudget::with_batch_reads(1))).unwrap();
+        assert_eq!(got, parse_fasta(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn chunked_fasta_crlf_and_no_final_newline() {
+        // CRLF endings with the terminator pair split across a chunk
+        // boundary, and a final line with no terminator at all.
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        let expected = parse_fasta(&crlf).unwrap();
+        for chunk_bytes in 1..=crlf.len() {
+            let got = collect(fasta_batches(&crlf, chunk_bytes, IngestBudget::unbounded()))
+                .unwrap();
+            assert_eq!(got, expected, "CRLF chunk_bytes={chunk_bytes}");
+        }
+        let unterminated = ">x\nACGT";
+        for chunk_bytes in [1, 2, 3, 100] {
+            let got =
+                collect(fasta_batches(unterminated, chunk_bytes, IngestBudget::unbounded()))
+                    .unwrap();
+            assert_eq!(got, parse_fasta(unterminated).unwrap(), "chunk_bytes={chunk_bytes}");
+        }
+        // Lone-CR (classic Mac) through the chunked path too.
+        let cr = SAMPLE.replace('\n', "\r");
+        let got = collect(fasta_batches(&cr, 2, IngestBudget::unbounded())).unwrap();
+        assert_eq!(got, parse_fasta(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn empty_trailing_chunk_is_a_no_op() {
+        let mut batcher = FastaBatcher::new(IngestBudget::unbounded());
+        batcher.push_chunk(SAMPLE.as_bytes()).unwrap();
+        batcher.push_chunk(b"").unwrap();
+        batcher.push_chunk(b"").unwrap();
+        batcher.finish().unwrap();
+        let mut rs = ReadSet::new();
+        while let Some(batch) = batcher.next_batch() {
+            for rec in batch.records {
+                rs.push(rec);
+            }
+        }
+        assert_eq!(rs, parse_fasta(SAMPLE).unwrap());
+        // Empty input entirely: no batches at all.
+        assert_eq!(
+            collect(fasta_batches("", 8, IngestBudget::unbounded())).unwrap(),
+            ReadSet::new()
+        );
+    }
+
+    #[test]
+    fn batch_bounds_seal_batches() {
+        let ds = DatasetSpec::Tiny.generate(3);
+        let text = write_fasta(&ds.reads);
+        // Reads bound: ceil(n / 7) batches of at most 7 reads.
+        let batches: Vec<ReadBatch> =
+            fasta_batches(&text, 4096, IngestBudget::with_batch_reads(7))
+                .map(|b| b.unwrap())
+                .collect();
+        assert_eq!(batches.len(), ds.reads.len().div_ceil(7));
+        assert!(batches.iter().all(|b| b.len() <= 7));
+        assert_eq!(batches.iter().map(ReadBatch::len).sum::<usize>(), ds.reads.len());
+
+        // Bytes bound: every batch stays under the cap (no read is larger
+        // than the cap in this dataset), and nothing is lost.
+        let cap = 4000usize;
+        let batches: Vec<ReadBatch> =
+            fasta_batches(&text, 4096, IngestBudget::with_batch_bytes(cap))
+                .map(|b| b.unwrap())
+                .collect();
+        assert!(batches.len() > 1);
+        assert!(batches.iter().all(|b| b.bytes() <= cap), "batch bytes over cap");
+        assert_eq!(batches.iter().map(ReadBatch::len).sum::<usize>(), ds.reads.len());
+
+        // A single read larger than the byte cap still forms its own batch.
+        let big = ">big\nACGTACGTACGTACGT\n";
+        let batches: Vec<ReadBatch> =
+            fasta_batches(big, 8, IngestBudget::with_batch_bytes(4)).map(|b| b.unwrap()).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 1);
+    }
+
+    #[test]
+    fn fasta_errors_match_the_monolithic_parser() {
+        for bad in ["ACGT\n>x\nACGT\n", ">\nACGT\n", ">bad\nACGN\n"] {
+            let mono = parse_fasta(bad).unwrap_err();
+            let streamed = collect(fasta_batches(bad, 4, IngestBudget::unbounded())).unwrap_err();
+            assert_eq!(streamed, mono, "input {bad:?}");
+        }
+        // The stream fuses after an error.
+        let mut iter = fasta_batches(">bad\nACGN\n>ok\nACGT\n", 4, IngestBudget::unbounded());
+        assert!(iter.next().unwrap().is_err());
+        assert!(iter.next().is_none());
+    }
+
+    #[test]
+    fn chunked_fastq_matches_monolithic_at_every_chunk_size() {
+        let (expected, _) = parse_fastq(FASTQ).unwrap();
+        for chunk_bytes in 1..=FASTQ.len() + 1 {
+            let got = collect(fastq_batches(FASTQ, chunk_bytes, IngestBudget::unbounded(), 0.0))
+                .unwrap();
+            assert_eq!(got, expected, "chunk_bytes={chunk_bytes}");
+        }
+        // CRLF + truncated final newline through the chunked path, record
+        // fields (header/sequence/quality) straddling every boundary.
+        let crlf = "@x\r\nACGT\r\n+\r\nIIII";
+        let (expected, _) = parse_fastq(crlf).unwrap();
+        for chunk_bytes in 1..=crlf.len() {
+            let got = collect(fastq_batches(crlf, chunk_bytes, IngestBudget::unbounded(), 0.0))
+                .unwrap();
+            assert_eq!(got, expected, "CRLF chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn chunked_fastq_filters_by_mean_quality_and_counts_drops() {
+        let (expected, stats) = parse_fastq_filtered(FASTQ, 10.0).unwrap();
+        let mut iter = fastq_batches(FASTQ, 5, IngestBudget::unbounded(), 10.0);
+        let mut rs = ReadSet::new();
+        for batch in &mut iter {
+            for rec in batch.unwrap().records {
+                rs.push(rec);
+            }
+        }
+        assert_eq!(rs, expected);
+        assert_eq!(iter.dropped_low_quality(), stats.dropped_low_quality);
+    }
+
+    #[test]
+    fn chunked_fastq_rejects_malformed_records_like_the_monolithic_parser() {
+        for bad in [
+            "@x\nACGT\nIIII\n",          // missing separator
+            "@x\nACGT\n+\nII\n",         // quality length mismatch
+            "@x\nACGT\n+\n",             // missing quality line
+            "@x\nACGT\n",                // missing separator (truncated)
+            "@x\n",                      // missing sequence line
+            "ACGT\n+\nIIII\n",           // missing '@'
+            "@\nACGT\n+\nIIII\n",        // empty name
+            "@x\nACGN\n+\nIIII\n",       // invalid base
+            "@x\r\nACGT\r\n+\r\nII\r\n", // CRLF quality length mismatch
+        ] {
+            let mono = parse_fastq(bad).unwrap_err();
+            let streamed =
+                collect(fastq_batches(bad, 3, IngestBudget::unbounded(), 0.0)).unwrap_err();
+            assert_eq!(streamed, mono, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn file_backed_batches_match_text_batches() {
+        let ds = DatasetSpec::Tiny.generate(5);
+        let text = write_fasta(&ds.reads);
+        let dir = std::env::temp_dir().join("dibella_seq_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunked.fa");
+        std::fs::write(&path, &text).unwrap();
+        let budget = IngestBudget::with_batch_reads(5);
+        let from_file: Vec<ReadBatch> =
+            fasta_batches_file(&path, 513, budget).unwrap().map(|b| b.unwrap()).collect();
+        let from_text: Vec<ReadBatch> =
+            fasta_batches(&text, 513, budget).map(|b| b.unwrap()).collect();
+        assert_eq!(from_file, from_text);
+        assert_eq!(collect(from_file.into_iter().map(Ok)).unwrap(), ds.reads);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_set_batches_cover_the_set_in_order() {
+        let ds = DatasetSpec::Tiny.generate(6);
+        for max_reads in [1usize, 3, 7, usize::MAX] {
+            let budget = IngestBudget::with_batch_reads(max_reads);
+            let got = collect(read_set_batches(&ds.reads, budget)).unwrap();
+            assert_eq!(got, ds.reads, "max_batch_reads={max_reads}");
+            let n_batches = read_set_batches(&ds.reads, budget).count();
+            assert_eq!(n_batches, ds.reads.len().div_ceil(max_reads.min(ds.reads.len())));
+        }
+        assert_eq!(read_set_batches(&ReadSet::new(), IngestBudget::unbounded()).count(), 0);
+    }
+}

@@ -144,6 +144,22 @@ impl<T> CsrMatrix<T> {
         (0..self.nrows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
     }
 
+    /// Consume the matrix, yielding owned `(row, col, value)` entries.
+    ///
+    /// Lets a reduction move values out instead of cloning them while the
+    /// source matrix stays resident — the matrix's storage is dropped as soon
+    /// as the iterator is.
+    pub fn into_entries(self) -> impl Iterator<Item = (usize, usize, T)> {
+        let Self { rowptr, colidx, vals, .. } = self;
+        let mut row = 0usize;
+        colidx.into_iter().zip(vals).enumerate().map(move |(i, (c, v))| {
+            while rowptr[row + 1] <= i {
+                row += 1;
+            }
+            (row, c, v)
+        })
+    }
+
     /// Look up the value at `(row, col)` (binary search within the row).
     pub fn get(&self, row: usize, col: usize) -> Option<&T> {
         let range = self.rowptr[row]..self.rowptr[row + 1];
@@ -445,6 +461,20 @@ mod tests {
         assert_eq!(m.rowptr(), &[0, 2, 2, 4]);
         assert_eq!(m.colidx(), &[0, 2, 0, 1]);
         assert_eq!(m.values(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn into_entries_matches_borrowed_iteration() {
+        let m = small();
+        let borrowed: Vec<(usize, usize, i64)> =
+            m.iter().map(|(r, c, v)| (r, c, *v)).collect();
+        let owned: Vec<(usize, usize, i64)> = m.into_entries().collect();
+        assert_eq!(owned, borrowed);
+        // Empty matrix and empty-leading/trailing-row edge cases.
+        assert_eq!(CsrMatrix::<i64>::zero(3, 3).into_entries().count(), 0);
+        let t = Triples::from_entries(4, 2, vec![(2, 1, 9)]);
+        let entries: Vec<_> = CsrMatrix::from_triples(&t).into_entries().collect();
+        assert_eq!(entries, vec![(2, 1, 9)]);
     }
 
     #[test]

@@ -207,12 +207,15 @@ fn reduce_partials<S: Semiring>(
     entry_words: u64,
 ) -> Outer1dResult<S::Out> {
     let nprocs = partials.len();
+    // Consume each partial: values are *moved* into the send buffers and the
+    // partial's CSR storage is freed inside the map, so the exchange never
+    // holds a cloned copy of the partial products alongside the originals.
     let send: Vec<CooBuffers<S::Out>> = partials
-        .par_iter()
+        .into_par_iter()
         .map(|partial| {
             let mut bufs: CooBuffers<S::Out> = (0..nprocs).map(|_| Vec::new()).collect();
-            for (r, c, v) in partial.iter() {
-                bufs[out_row_dist.owner(r)].push((r, c, v.clone()));
+            for (r, c, v) in partial.into_entries() {
+                bufs[out_row_dist.owner(r)].push((r, c, v));
             }
             bufs
         })
