@@ -15,6 +15,10 @@ use std::sync::Mutex;
 pub enum CommPhase {
     /// The two-pass k-mer exchange of the distributed k-mer counter.
     KmerCounting,
+    /// The k-min-mer key exchange and ownership/ID-assignment pass of the
+    /// sketch-space candidate subsystem (replaces `KmerCounting` when the
+    /// pipeline runs in k-min-mer mode).
+    SketchIndex,
     /// The SpGEMM computing the candidate matrix `C = A·Aᵀ` (2D SUMMA
     /// broadcasts or the 1D outer-product reduction).
     OverlapDetection,
@@ -32,8 +36,9 @@ pub enum CommPhase {
 impl CommPhase {
     /// All phases, in Table I order (with the post-paper consensus stage
     /// before `Other`).
-    pub const ALL: [CommPhase; 6] = [
+    pub const ALL: [CommPhase; 7] = [
         CommPhase::KmerCounting,
+        CommPhase::SketchIndex,
         CommPhase::OverlapDetection,
         CommPhase::ReadExchange,
         CommPhase::TransitiveReduction,
@@ -45,6 +50,7 @@ impl CommPhase {
     pub fn name(self) -> &'static str {
         match self {
             CommPhase::KmerCounting => "KmerCounting",
+            CommPhase::SketchIndex => "SketchIndex",
             CommPhase::OverlapDetection => "OverlapDetection",
             CommPhase::ReadExchange => "ReadExchange",
             CommPhase::TransitiveReduction => "TransitiveReduction",
@@ -238,7 +244,7 @@ mod tests {
     #[test]
     fn phases_display_with_padding() {
         assert_eq!(format!("{:>20}", CommPhase::KmerCounting), "        KmerCounting");
-        assert_eq!(CommPhase::ALL.len(), 6);
+        assert_eq!(CommPhase::ALL.len(), 7);
         // Ord is needed for the BTreeMap key; spot-check Table I ordering.
         assert!(CommPhase::KmerCounting < CommPhase::TransitiveReduction);
     }

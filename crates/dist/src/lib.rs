@@ -64,7 +64,7 @@ mod comm;
 mod grid;
 mod par;
 
-pub use collectives::{alltoallv_counted, record_p2p, words_of};
+pub use collectives::{alltoallv_counted, record_broadcast, record_p2p, words_of};
 pub use comm::{CommPhase, CommSnapshot, CommStats, PhaseCounters};
 pub use grid::{BlockDist, ProcessGrid};
 pub use par::{par_ranks, par_ranks_mut, with_threads};

@@ -10,7 +10,7 @@
 //! algorithm (minimap2 has no distributed mode), parallelised over reads with
 //! rayon, mirroring its 32-OpenMP-thread single-node usage in the paper.
 
-use dibella_seq::{DnaSeq, KmerIter, ReadSet};
+use dibella_seq::{windowed_minimizers, DnaSeq, ReadSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -69,30 +69,12 @@ struct MinimizerHit {
 
 /// Compute the `(w, k)` minimizer sketch of a sequence: for every window of
 /// `w` consecutive k-mers, the canonical k-mer with the smallest hash is kept.
+///
+/// Delegates to the shared [`dibella_seq::sketch`] primitives (also used by
+/// the k-min-mer candidate subsystem); the output is pinned bit-identical to
+/// the pre-extraction implementation by a regression test below.
 fn sketch(seq: &DnaSeq, k: usize, w: usize) -> Vec<(u64, u32, bool)> {
-    if seq.len() < k {
-        return Vec::new();
-    }
-    let hashes: Vec<(u64, u32, bool)> = KmerIter::new(seq, k)
-        .map(|(pos, kmer)| {
-            let canon = kmer.canonical();
-            (canon.kmer.hash64(), pos as u32, canon.was_forward)
-        })
-        .collect();
-    let mut out: Vec<(u64, u32, bool)> = Vec::new();
-    if hashes.len() <= w {
-        if let Some(min) = hashes.iter().min_by_key(|(h, _, _)| *h) {
-            out.push(*min);
-        }
-        return out;
-    }
-    for window in hashes.windows(w) {
-        let min = window.iter().min_by_key(|(h, _, _)| *h).unwrap();
-        if out.last().is_none_or(|last| last.1 != min.1) {
-            out.push(*min);
-        }
-    }
-    out
+    windowed_minimizers(seq, k, w)
 }
 
 /// Find approximate overlaps between all read pairs sharing minimizers.
@@ -172,7 +154,56 @@ pub fn minimizer_overlaps(reads: &ReadSet, config: &MinimizerConfig) -> Vec<Mini
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dibella_seq::{DatasetSpec, ReadRecord};
+    use dibella_seq::{DatasetSpec, KmerIter, ReadRecord};
+
+    /// The pre-extraction `(w, k)` sketch implementation, kept verbatim as a
+    /// regression oracle: the shared `windowed_minimizers` the overlapper now
+    /// delegates to must stay bit-identical to it.
+    fn sketch_pre_extraction(seq: &DnaSeq, k: usize, w: usize) -> Vec<(u64, u32, bool)> {
+        if seq.len() < k {
+            return Vec::new();
+        }
+        let hashes: Vec<(u64, u32, bool)> = KmerIter::new(seq, k)
+            .map(|(pos, kmer)| {
+                let canon = kmer.canonical();
+                (canon.kmer.hash64(), pos as u32, canon.was_forward)
+            })
+            .collect();
+        let mut out: Vec<(u64, u32, bool)> = Vec::new();
+        if hashes.len() <= w {
+            if let Some(min) = hashes.iter().min_by_key(|(h, _, _)| *h) {
+                out.push(*min);
+            }
+            return out;
+        }
+        for window in hashes.windows(w) {
+            let min = window.iter().min_by_key(|(h, _, _)| *h).unwrap();
+            if out.last().is_none_or(|last| last.1 != min.1) {
+                out.push(*min);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn extracted_sketch_is_bit_identical_to_the_pre_extraction_logic() {
+        let ds = DatasetSpec::Small.generate(42);
+        for (k, w) in [(13usize, 5usize), (15, 10), (17, 8), (13, 1)] {
+            for i in 0..ds.reads.len() {
+                let seq = ds.reads.seq(i);
+                assert_eq!(
+                    sketch(seq, k, w),
+                    sketch_pre_extraction(seq, k, w),
+                    "sketch diverged for read {i} at (k={k}, w={w})"
+                );
+            }
+        }
+        // Degenerate lengths: shorter than k, exactly k, fewer k-mers than w.
+        for ascii in ["", "ACG", "ACGTACGTACGTA", "ACGTACGTACGTACG"] {
+            let seq: DnaSeq = ascii.parse().unwrap();
+            assert_eq!(sketch(&seq, 13, 5), sketch_pre_extraction(&seq, 13, 5));
+        }
+    }
 
     #[test]
     fn sketch_is_sparser_than_the_kmer_set() {

@@ -2,8 +2,22 @@
 
 use dibella_overlap::OverlapConfig;
 use dibella_seq::{IngestBudget, KmerSelection};
+use dibella_sketch::SketchConfig;
 use dibella_strgraph::{ConsensusConfig, TransitiveReductionConfig};
 use serde::{Deserialize, Serialize};
+
+/// Which candidate-generation path feeds the `OverlapSemiring` SUMMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateSource {
+    /// The paper's path: the occurrence matrix `A` has one column per
+    /// reliable k-mer from the two-pass distributed counter.
+    ExactKmer,
+    /// The sketch-space path: one column per k-min-mer (consecutive
+    /// density-selected minimizers over homopolymer-compressed reads),
+    /// built by `dibella-sketch` — ~density× fewer nonzeros, no k-mer
+    /// counting stage.
+    KMinMer,
+}
 
 /// Configuration of one diBELLA (1D or 2D) pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +43,12 @@ pub struct PipelineConfig {
     /// Defaults to unbounded, in which case the streaming path degenerates
     /// to one superstep over the whole input (the monolithic behaviour).
     pub ingest: IngestBudget,
+    /// Which candidate path builds the occurrence matrix the SUMMA consumes
+    /// (defaults to the paper's exact reliable-k-mer path).
+    pub candidate_source: CandidateSource,
+    /// Parameters of the k-min-mer path (used only when
+    /// [`PipelineConfig::candidate_source`] is [`CandidateSource::KMinMer`]).
+    pub sketch: SketchConfig,
 }
 
 impl Default for PipelineConfig {
@@ -41,6 +61,8 @@ impl Default for PipelineConfig {
             min_mean_quality: 0.0,
             nprocs: 4,
             ingest: IngestBudget::unbounded(),
+            candidate_source: CandidateSource::ExactKmer,
+            sketch: SketchConfig::default(),
         }
     }
 }
@@ -60,6 +82,7 @@ impl PipelineConfig {
             overlap: OverlapConfig::for_tests(k),
             transitive: TransitiveReductionConfig::for_tests(),
             nprocs,
+            sketch: SketchConfig::for_tests(k),
             ..Self::default()
         }
     }
@@ -81,6 +104,7 @@ impl PipelineConfig {
             overlap,
             transitive: TransitiveReductionConfig { fuzz: 500, max_iterations: 16 },
             nprocs,
+            sketch: SketchConfig { k, ..SketchConfig::default() },
             ..Self::default()
         }
     }

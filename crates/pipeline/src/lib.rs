@@ -38,7 +38,7 @@ pub mod scenario;
 pub mod timings;
 
 pub use comm_model::{CommModel, ModelParams};
-pub use config::PipelineConfig;
+pub use config::{CandidateSource, PipelineConfig};
 pub use run1d::{run_dibella_1d, Pipeline1dOutput};
 pub use scenario::{run_scenario, run_scenario_matrix, ScenarioReport, ScenarioSpec};
 pub use run2d::{

@@ -1,6 +1,6 @@
 //! The diBELLA 2D pipeline (Algorithm 1).
 
-use crate::config::PipelineConfig;
+use crate::config::{CandidateSource, PipelineConfig};
 use crate::timings::{timed, StageTimings};
 use dibella_dist::{par_ranks, CommPhase, CommSnapshot, CommStats, ProcessGrid};
 use dibella_overlap::{
@@ -11,6 +11,7 @@ use dibella_seq::{
     count_kmers_distributed, count_kmers_streaming, fasta_batches, parse_fasta,
     parse_fastq_filtered, read_set_batches, KmerTable, ReadSet,
 };
+use dibella_sketch::build_sketch_matrix;
 use dibella_sparse::DistMat2D;
 use dibella_strgraph::{
     consensus_contig, extract_contigs, n50, transitive_reduction, Contig, ContigConsensus,
@@ -156,9 +157,14 @@ pub fn run_dibella_2d_on_reads(
     comm: &CommStats,
 ) -> Pipeline2dOutput {
     let grid = ProcessGrid::square_at_most(config.nprocs);
-    // CountKmer: two-pass distributed counting with Bloom filtering.
-    let (table, t_count) =
-        timed(|| count_kmers_distributed(reads, &config.kmer, grid.nprocs(), comm));
+    // CountKmer: two-pass distributed counting with Bloom filtering.  The
+    // k-min-mer path indexes sketches instead and skips counting entirely.
+    let (table, t_count) = match config.candidate_source {
+        CandidateSource::ExactKmer => {
+            timed(|| count_kmers_distributed(reads, &config.kmer, grid.nprocs(), comm))
+        }
+        CandidateSource::KMinMer => (KmerTable::default(), 0.0),
+    };
     pipeline_from_table(reads, table, t_count, config, grid, comm)
 }
 
@@ -179,16 +185,22 @@ pub fn run_dibella_2d_streaming_on_reads(
     comm: &CommStats,
 ) -> Result<Pipeline2dOutput, String> {
     let grid = ProcessGrid::square_at_most(config.nprocs);
-    let (table, t_count) = timed(|| {
-        count_kmers_streaming(
-            || Ok(read_set_batches(reads, config.ingest)),
-            &config.kmer,
-            grid.nprocs(),
-            &config.ingest,
-            comm,
-        )
-    });
-    Ok(pipeline_from_table(reads, table?, t_count, config, grid, comm))
+    let (table, t_count) = match config.candidate_source {
+        CandidateSource::ExactKmer => {
+            let (table, t) = timed(|| {
+                count_kmers_streaming(
+                    || Ok(read_set_batches(reads, config.ingest)),
+                    &config.kmer,
+                    grid.nprocs(),
+                    &config.ingest,
+                    comm,
+                )
+            });
+            (table?, t)
+        }
+        CandidateSource::KMinMer => (KmerTable::default(), 0.0),
+    };
+    Ok(pipeline_from_table(reads, table, t_count, config, grid, comm))
 }
 
 /// Run the diBELLA 2D pipeline on FASTA text through the streaming ingest
@@ -233,10 +245,21 @@ fn pipeline_from_table(
     let mut timings = StageTimings { count_kmer: t_count, ..StageTimings::default() };
 
     // CreateSpMat: the occurrence matrix A (Aᵀ is formed inside the SpGEMM).
-    let (a, t_create) =
-        timed(|| build_a_matrix(reads, &table, config.overlap.k, grid, grid.nprocs()));
+    // Exact mode: one column per reliable k-mer.  k-min-mer mode: one column
+    // per surviving k-min-mer — same entry type, same CSR shape, ~density×
+    // fewer nonzeros, with the ownership exchange accounted under
+    // `CommPhase::SketchIndex` and the sketch_* extras.
+    let (a, t_create) = timed(|| match config.candidate_source {
+        CandidateSource::ExactKmer => {
+            build_a_matrix(reads, &table, config.overlap.k, grid, grid.nprocs())
+        }
+        CandidateSource::KMinMer => {
+            build_sketch_matrix(reads, &config.sketch, grid, grid.nprocs(), comm).0
+        }
+    });
     timings.create_spmat = t_create;
-    let a_density = if table.is_empty() { 0.0 } else { a.nnz() as f64 / table.len() as f64 };
+    let columns = a.ncols();
+    let a_density = if columns == 0 { 0.0 } else { a.nnz() as f64 / columns as f64 };
 
     // ExchangeRead: in the real system the exchange is overlapped with the
     // k-mer counting and SpGEMM; here the data is already shared, so this
@@ -286,7 +309,8 @@ fn pipeline_from_table(
         grid,
         dims: PipelineDims {
             reads: reads.len(),
-            kmers: table.len(),
+            // In k-min-mer mode `m` counts k-min-mer columns, not k-mers.
+            kmers: columns,
             mean_read_length: reads.mean_read_length(),
             a_density,
         },
@@ -612,6 +636,61 @@ mod tests {
         cfg.ingest.max_resident_bytes = 16;
         let err = run_dibella_2d_streaming(&fasta, &cfg).unwrap_err();
         assert!(err.contains("over budget"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn kminmer_mode_runs_end_to_end() {
+        let ds = DatasetSpec::Tiny.generate(42);
+        let mut cfg = tiny_config(4);
+        cfg.candidate_source = crate::CandidateSource::KMinMer;
+        let comm = CommStats::new();
+        let out = run_dibella_2d_on_reads(&ds.reads, &cfg, &comm);
+        assert!(out.overlap_matrix.nnz() > 0, "k-min-mer mode must find overlaps");
+        assert!(out.string_matrix.nnz() > 0);
+        // No k-mer counting happens; the sketch index is accounted instead.
+        assert_eq!(out.comm.phase(CommPhase::KmerCounting).words, 0);
+        assert!(out.comm.phase(CommPhase::SketchIndex).words > 0);
+        assert_eq!(out.timings.count_kmer, 0.0);
+        assert!(out.timings.create_spmat > 0.0);
+        // dims.kmers reports k-min-mer columns; extras carry the details.
+        assert_eq!(out.dims.kmers as u64, out.comm.extras["sketch_columns"]);
+        assert!(out.comm.extras["sketch_nnz"] > 0);
+        assert!(out.comm.extras["sketch_hpc_ratio_ppm"] > 1_000_000);
+
+        // The sketch matrix must be far smaller than the exact-path A.
+        let exact = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &CommStats::new());
+        let exact_nnz = (exact.dims.a_density * exact.dims.kmers as f64).round() as u64;
+        assert!(
+            out.comm.extras["sketch_nnz"] * 3 < exact_nnz,
+            "sketch nnz {} vs exact nnz {exact_nnz}",
+            out.comm.extras["sketch_nnz"]
+        );
+    }
+
+    #[test]
+    fn kminmer_mode_is_deterministic_across_workers_and_ranks() {
+        let ds = DatasetSpec::Tiny.generate(55);
+        let run = |threads: usize, nprocs: usize| {
+            dibella_dist::with_threads(threads, || {
+                let mut cfg = tiny_config(nprocs);
+                cfg.candidate_source = crate::CandidateSource::KMinMer;
+                let comm = CommStats::new();
+                run_dibella_2d_on_reads(&ds.reads, &cfg, &comm)
+            })
+        };
+        let base = run(1, 1);
+        let base_overlap = base.overlap_matrix.to_local_csr();
+        let base_string = base.string_matrix.to_local_csr();
+        for threads in [2usize, 4] {
+            for nprocs in [1usize, 4, 9] {
+                let out = run(threads, nprocs);
+                let ctx = format!("t={threads} p={nprocs}");
+                assert_eq!(out.dims.kmers, base.dims.kmers, "{ctx}");
+                assert_eq!(out.dims.a_density, base.dims.a_density, "{ctx}");
+                assert_eq!(out.overlap_matrix.to_local_csr(), base_overlap, "{ctx}");
+                assert_eq!(out.string_matrix.to_local_csr(), base_string, "{ctx}");
+            }
+        }
     }
 
     #[test]

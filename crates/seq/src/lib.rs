@@ -19,15 +19,22 @@
 //! * [`kmer_counter`] — the two-pass distributed k-mer counter (Section IV-C):
 //!   Bloom-filter pass then counting pass, with the all-to-all k-mer exchange
 //!   accounted under [`dibella_dist::CommPhase::KmerCounting`].
+//! * [`hpc`] — homopolymer compression with an exact compressed→raw
+//!   coordinate map, the first stage of the sketch-space candidate path.
+//! * [`sketch`] — shared sketching primitives: canonical k-mer hashing plus
+//!   windowed (minimap2-style) and density-bound (mapquik-style) minimizer
+//!   selection, used by both `dibella-overlap` and `dibella-sketch`.
 
 #![warn(missing_docs)]
 
 pub mod bloom;
 pub mod dna;
 pub mod fasta;
+pub mod hpc;
 pub mod kmer;
 pub mod kmer_counter;
 pub mod simulate;
+pub mod sketch;
 pub mod stream;
 
 pub use bloom::{BloomFilter, ScalableBloom};
@@ -36,9 +43,13 @@ pub use fasta::{
     parse_fasta, parse_fasta_file, parse_fastq, parse_fastq_file, parse_fastq_filtered,
     write_fasta, write_fasta_file, FastqFilterStats, ReadRecord, ReadSet,
 };
+pub use hpc::HpcSeq;
 pub use kmer::{CanonicalKmer, Kmer, KmerIter};
 pub use kmer_counter::{
     count_kmers_distributed, count_kmers_serial, count_kmers_streaming, KmerSelection, KmerTable,
+};
+pub use sketch::{
+    density_minimizers, density_threshold, kmer_hashes, windowed_minimizers, MinimizerPos,
 };
 pub use simulate::{
     build_scenario, DatasetSpec, LengthModel, ReadSimConfig, ScenarioKind, ScenarioParams,

@@ -12,6 +12,9 @@
 //! * [`seq`] — DNA/k-mer types, FASTA I/O, read simulation, k-mer counting;
 //! * [`align`] — x-drop seed-and-extend alignment and overlap classification;
 //! * [`overlap`] — overlap detection as distributed SpGEMM plus baselines;
+//! * [`sketch`] — the k-min-mer candidate subsystem: homopolymer compression,
+//!   density-bound minimizers and the sketch-space occurrence matrix that
+//!   feeds the same SUMMA with ~density× fewer nonzeros;
 //! * [`strgraph`] — transitive reduction (Algorithm 2), Myers/SORA baselines,
 //!   string-graph utilities, contig extraction, POA consensus and
 //!   assembly-quality metrics;
@@ -62,6 +65,7 @@ pub use dibella_dist as dist;
 pub use dibella_overlap as overlap;
 pub use dibella_pipeline as pipeline;
 pub use dibella_seq as seq;
+pub use dibella_sketch as sketch;
 pub use dibella_sparse as sparse;
 pub use dibella_strgraph as strgraph;
 
@@ -75,14 +79,15 @@ pub mod prelude {
     };
     pub use dibella_pipeline::{
         run_dibella_1d, run_dibella_2d, run_dibella_2d_fastq, run_dibella_2d_on_reads,
-        run_scenario, run_scenario_matrix, CommModel, ModelParams, PipelineConfig,
-        ScenarioReport, ScenarioSpec, StageTimings,
+        run_scenario, run_scenario_matrix, CandidateSource, CommModel, ModelParams,
+        PipelineConfig, ScenarioReport, ScenarioSpec, StageTimings,
     };
     pub use dibella_seq::{
         parse_fasta, parse_fasta_file, parse_fastq, parse_fastq_file, parse_fastq_filtered,
         write_fasta, DatasetSpec, DnaSeq, Kmer, KmerSelection, ReadSet, ScenarioKind,
         ScenarioParams, Strand, Topology,
     };
+    pub use dibella_sketch::{build_sketch_matrix, sketch_read, SketchConfig, SketchStats};
     pub use dibella_sparse::{CsrMatrix, DistMat2D, Semiring, Triples};
     pub use dibella_strgraph::{
         banded_identity, consensus_contig, consensus_contigs, evaluate_assembly,
