@@ -16,6 +16,10 @@
 //! speedup.  CI runs this bench at every push to maintain the perf
 //! trajectory (`DIBELLA_BENCH_OUT` overrides the path).
 
+// The bench crate is the sanctioned home of wall-clock reads (see
+// clippy.toml); opt back in to Instant::now here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dibella_align::{
     align_seed_pair, xdrop_extend, xdrop_extend_auto, xdrop_extend_baseline, AlignScratch,

@@ -13,6 +13,10 @@
 //! CI runs this bench at every push to maintain the perf trajectory
 //! (`DIBELLA_BENCH_OUT` overrides the artifact path).
 
+// The bench crate is the sanctioned home of wall-clock reads (see
+// clippy.toml); opt back in to Instant::now here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dibella_dist::{CommPhase, CommStats, ProcessGrid};
 use dibella_overlap::{build_a_matrix, OverlapSemiring};

@@ -17,6 +17,10 @@
 //! DIBELLA_SCENARIO_PRESET=fast cargo run --release -p dibella-bench --bin assembly_quality
 //! ```
 
+// The bench crate is the sanctioned home of wall-clock reads (see
+// clippy.toml); opt back in to Instant::now here.
+#![allow(clippy::disallowed_methods)]
+
 use dibella_bench::{fmt, print_header, print_row};
 use dibella_dist::CommStats;
 use dibella_pipeline::{run_dibella_2d_on_reads, run_scenario, PipelineConfig, ScenarioSpec};

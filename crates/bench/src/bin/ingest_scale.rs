@@ -21,7 +21,14 @@
 //! DIBELLA_INGEST_OUT=/tmp/out.json cargo run --release -p dibella-bench --bin ingest_scale
 //! ```
 
+// The bench crate is the sanctioned home of wall-clock reads (see
+// clippy.toml); opt back in to Instant::now here.
+#![allow(clippy::disallowed_methods)]
+
 use dibella_bench::{print_header, print_row};
+use dibella_dist::extras::{
+    INGEST_BATCH_BYTES_PEAK_KEY, INGEST_RESIDENT_BYTES_PEAK_KEY, INGEST_SUPERSTEPS_KEY,
+};
 use dibella_dist::CommStats;
 use dibella_seq::simulate::{generate_genome, simulate_reads, GenomeConfig, ReadSimConfig};
 use dibella_seq::{
@@ -186,9 +193,9 @@ fn main() {
         let r = SizeResult {
             reads: nreads,
             input_bytes,
-            supersteps: stats.extra("ingest_supersteps"),
-            batch_bytes_peak: stats.extra("ingest_batch_bytes_peak"),
-            resident_estimate_peak: stats.extra("ingest_resident_bytes_peak"),
+            supersteps: stats.extra(INGEST_SUPERSTEPS_KEY),
+            batch_bytes_peak: stats.extra(INGEST_BATCH_BYTES_PEAK_KEY),
+            resident_estimate_peak: stats.extra(INGEST_RESIDENT_BYTES_PEAK_KEY),
             streaming_peak,
             streaming_secs,
             kmers: streamed.len(),

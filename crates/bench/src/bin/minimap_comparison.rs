@@ -11,6 +11,10 @@
 //! cargo run --release -p dibella-bench --bin minimap_comparison
 //! ```
 
+// The bench crate is the sanctioned home of wall-clock reads (see
+// clippy.toml); opt back in to Instant::now here.
+#![allow(clippy::disallowed_methods)]
+
 use dibella_bench::{benchmark_dataset, fmt, print_header, print_row, SimulatedBreakdown};
 use dibella_dist::CommStats;
 use dibella_overlap::{minimizer_overlaps, MinimizerConfig};

@@ -26,6 +26,10 @@
 //! DIBELLA_SKETCH_OUT=/tmp/out.json cargo run --release -p dibella-bench --bin sketch_recall
 //! ```
 
+// The bench crate is the sanctioned home of wall-clock reads (see
+// clippy.toml); opt back in to Instant::now here.
+#![allow(clippy::disallowed_methods)]
+
 use dibella_bench::{print_header, print_row};
 use dibella_dist::{CommPhase, CommStats, ProcessGrid};
 use dibella_overlap::{

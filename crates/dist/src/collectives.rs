@@ -7,6 +7,9 @@
 //! empty point-to-point buffers are not sent.
 
 use crate::comm::{CommPhase, CommStats};
+use crate::trace::CollectiveKind;
+
+pub use crate::extras::{p2p_messages_key, p2p_words_key};
 
 /// The wire size of `T` in 8-byte words (`⌈size_of::<T>() / 8⌉`).
 ///
@@ -39,6 +42,7 @@ pub fn alltoallv_counted<T>(
     let nprocs = send.len();
     let mut recv: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
     let mut words_received = vec![0u64; nprocs];
+    let mut words_sent_by_rank = vec![0u64; nprocs];
     for (src, buffers) in send.into_iter().enumerate() {
         assert_eq!(
             buffers.len(),
@@ -57,6 +61,7 @@ pub fn alltoallv_counted<T>(
             }
             recv[dst].extend(buffer);
         }
+        words_sent_by_rank[src] = words_sent;
         if words_sent > 0 || messages_sent > 0 {
             stats.record(phase, words_sent, messages_sent);
             stats.record_rank_max(phase, words_sent);
@@ -67,6 +72,7 @@ pub fn alltoallv_counted<T>(
             stats.record_rank_max(phase, words);
         }
     }
+    stats.trace_alltoallv(phase, nprocs, &words_sent_by_rank);
     recv
 }
 
@@ -93,16 +99,7 @@ pub fn record_broadcast(stats: &CommStats, phase: CommPhase, words: u64, group_s
     let peers = (group_size - 1) as u64;
     stats.record(phase, words * peers, peers);
     stats.record_rank_max(phase, words * peers);
-}
-
-/// The `CommStats::extras` key counting point-to-point words for `phase`.
-pub fn p2p_words_key(phase: CommPhase) -> String {
-    format!("p2p_words_{}", phase.name())
-}
-
-/// The `CommStats::extras` key counting point-to-point messages for `phase`.
-pub fn p2p_messages_key(phase: CommPhase) -> String {
-    format!("p2p_messages_{}", phase.name())
+    stats.trace_symmetric(phase, CollectiveKind::Broadcast, group_size, words);
 }
 
 /// Account for one simulated point-to-point send of `words` words between two
@@ -126,6 +123,7 @@ pub fn record_p2p(stats: &CommStats, phase: CommPhase, words: u64) {
     stats.record_rank_max(phase, words);
     stats.bump_extra(&p2p_words_key(phase), words);
     stats.bump_extra(&p2p_messages_key(phase), 1);
+    stats.trace_symmetric(phase, CollectiveKind::PointToPoint, 2, words);
 }
 
 #[cfg(test)]
@@ -265,5 +263,83 @@ mod tests {
         let stats = CommStats::new();
         let send: Vec<Vec<Vec<u8>>> = vec![vec![vec![]], vec![vec![], vec![]]];
         let _ = alltoallv_counted(send, &stats, CommPhase::Other, 1);
+    }
+
+    #[test]
+    fn collectives_append_spmd_trace_events_when_enabled() {
+        let stats = CommStats::new();
+        stats.enable_spmd_trace(3);
+        let send = square_send(&[
+            &[&[1], &[2, 3], &[4]],
+            &[&[5, 6], &[], &[7]],
+            &[&[8], &[9], &[]],
+        ]);
+        let _ = alltoallv_counted(send, &stats, CommPhase::KmerCounting, 1);
+        record_broadcast(&stats, CommPhase::OverlapDetection, 10, 3);
+        record_p2p(&stats, CommPhase::OverlapDetection, 25);
+        // Single-member broadcasts and empty p2p sends stay invisible.
+        record_broadcast(&stats, CommPhase::Other, 10, 1);
+        record_p2p(&stats, CommPhase::Other, 0);
+
+        let traces = stats.spmd_traces();
+        assert_eq!(traces.len(), 3);
+        crate::verify_spmd(&traces).expect("symmetric collectives are SPMD-consistent");
+        for trace in &traces {
+            assert_eq!(trace.events.len(), 3);
+            assert_eq!(trace.events[0].kind, crate::CollectiveKind::Alltoallv);
+            assert_eq!(trace.events[0].participants, 3);
+            assert_eq!(trace.events[1].kind, crate::CollectiveKind::Broadcast);
+            assert_eq!(trace.events[2].kind, crate::CollectiveKind::PointToPoint);
+            assert_eq!(trace.events[2].participants, 2);
+        }
+        // The alltoallv event carries each rank's own sent words.
+        assert_eq!(traces[0].events[0].words, 3);
+        assert_eq!(traces[1].events[0].words, 3);
+        assert_eq!(traces[2].events[0].words, 2);
+        stats.assert_spmd();
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_costs_nothing() {
+        let stats = CommStats::new();
+        assert!(!stats.spmd_trace_enabled());
+        record_broadcast(&stats, CommPhase::Other, 10, 4);
+        assert!(stats.spmd_traces().is_empty());
+        stats.assert_spmd(); // vacuous no-op when disabled
+    }
+
+    #[test]
+    fn seeded_rank_divergence_is_caught_with_a_readable_diff() {
+        let stats = CommStats::new();
+        stats.enable_spmd_trace(4);
+        record_broadcast(&stats, CommPhase::OverlapDetection, 8, 4);
+        // Fault injection: rank 2 alone posts an extra collective, as a buggy
+        // rank-dependent branch would.
+        stats.trace_event_for_rank(
+            2,
+            CommPhase::OverlapDetection,
+            crate::CollectiveKind::Broadcast,
+            4,
+            8,
+        );
+        record_p2p(&stats, CommPhase::OverlapDetection, 5);
+
+        let err = crate::verify_spmd(&stats.spmd_traces()).unwrap_err();
+        assert_eq!(err.rank, 2);
+        assert_eq!(err.index, 1);
+        let rendered = err.to_string();
+        assert!(rendered.contains("rank 2 disagrees with rank 0"), "{rendered}");
+        assert!(rendered.contains("PointToPoint"), "{rendered}");
+        assert!(rendered.contains("Broadcast"), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD protocol divergence")]
+    fn assert_spmd_panics_on_divergence() {
+        let stats = CommStats::new();
+        stats.enable_spmd_trace(2);
+        record_broadcast(&stats, CommPhase::Other, 1, 2);
+        stats.trace_event_for_rank(1, CommPhase::Other, crate::CollectiveKind::PointToPoint, 2, 1);
+        stats.assert_spmd();
     }
 }

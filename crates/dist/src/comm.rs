@@ -10,6 +10,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
 
+use crate::trace::{CollectiveEvent, CollectiveKind, CollectiveTrace, verify_spmd};
+
 /// The communicating stages of Algorithm 1, matching Table I of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CommPhase {
@@ -115,6 +117,9 @@ impl CommSnapshot {
 #[derive(Debug, Default)]
 pub struct CommStats {
     inner: Mutex<CommSnapshot>,
+    /// Per-rank collective traces for the SPMD protocol verifier — `None`
+    /// until [`CommStats::enable_spmd_trace`] switches tracing on.
+    spmd: Mutex<Option<Vec<CollectiveTrace>>>,
 }
 
 impl CommStats {
@@ -176,6 +181,110 @@ impl CommStats {
     /// A frozen copy of the current counters.
     pub fn snapshot(&self) -> CommSnapshot {
         self.inner.lock().unwrap().clone()
+    }
+
+    // --- SPMD protocol tracing ----------------------------------------------
+
+    /// Switch on per-rank collective tracing for `nranks` virtual ranks,
+    /// replacing any previous trace.
+    ///
+    /// Once enabled, every simulated collective appends a
+    /// [`CollectiveEvent`] to each participating rank's
+    /// [`CollectiveTrace`]; [`CommStats::assert_spmd`] (or
+    /// [`verify_spmd`] on [`CommStats::spmd_traces`]) then checks the SPMD
+    /// protocol invariant.  The pipeline enables this when
+    /// `debug_assertions` are on, so release builds pay nothing.
+    pub fn enable_spmd_trace(&self, nranks: usize) {
+        let traces = (0..nranks).map(CollectiveTrace::new).collect();
+        *self.spmd.lock().unwrap() = Some(traces);
+    }
+
+    /// Whether collective tracing is currently enabled.
+    pub fn spmd_trace_enabled(&self) -> bool {
+        self.spmd.lock().unwrap().is_some()
+    }
+
+    /// A copy of the per-rank collective traces (empty if tracing is off).
+    pub fn spmd_traces(&self) -> Vec<CollectiveTrace> {
+        self.spmd.lock().unwrap().clone().unwrap_or_default()
+    }
+
+    /// Record one collective that every traced rank took part in
+    /// symmetrically (broadcasts, point-to-point pairs): the same event —
+    /// including `words` — is appended to every rank's trace atomically, so
+    /// concurrent collectives from [`par_ranks`](crate::par_ranks) workers
+    /// cannot interleave differently on different ranks.
+    ///
+    /// No-op while tracing is disabled.
+    pub fn trace_symmetric(
+        &self,
+        phase: CommPhase,
+        kind: CollectiveKind,
+        participants: usize,
+        words: u64,
+    ) {
+        let mut guard = self.spmd.lock().unwrap();
+        if let Some(traces) = guard.as_mut() {
+            for trace in traces.iter_mut() {
+                trace.events.push(CollectiveEvent { phase, kind, participants, words });
+            }
+        }
+    }
+
+    /// Record one all-to-all exchange over `participants` ranks, with
+    /// `words_sent[r]` words attributed to rank `r` (diagnostic only — the
+    /// verifier compares the control sequence, not the payloads).  Ranks
+    /// beyond `words_sent.len()`, or all ranks when the exchange spans a
+    /// different rank count than the trace, are attributed zero words.
+    ///
+    /// No-op while tracing is disabled.
+    pub fn trace_alltoallv(&self, phase: CommPhase, participants: usize, words_sent: &[u64]) {
+        let mut guard = self.spmd.lock().unwrap();
+        if let Some(traces) = guard.as_mut() {
+            let per_rank = if words_sent.len() == traces.len() { Some(words_sent) } else { None };
+            for (r, trace) in traces.iter_mut().enumerate() {
+                let words = per_rank.map_or(0, |w| w[r]);
+                trace.events.push(CollectiveEvent {
+                    phase,
+                    kind: CollectiveKind::Alltoallv,
+                    participants,
+                    words,
+                });
+            }
+        }
+    }
+
+    /// Append an event to **one** rank's trace only — a fault-injection hook
+    /// for negative tests that seed a rank-divergent collective (the thing a
+    /// buggy rank-dependent branch would produce).  Out-of-range ranks are
+    /// ignored; no-op while tracing is disabled.
+    pub fn trace_event_for_rank(
+        &self,
+        rank: usize,
+        phase: CommPhase,
+        kind: CollectiveKind,
+        participants: usize,
+        words: u64,
+    ) {
+        let mut guard = self.spmd.lock().unwrap();
+        if let Some(traces) = guard.as_mut() {
+            if let Some(trace) = traces.get_mut(rank) {
+                trace.events.push(CollectiveEvent { phase, kind, participants, words });
+            }
+        }
+    }
+
+    /// Assert the SPMD protocol invariant over the recorded traces,
+    /// panicking with the rendered divergence diff on violation.  No-op while
+    /// tracing is disabled, so callers may assert unconditionally.
+    pub fn assert_spmd(&self) {
+        let guard = self.spmd.lock().unwrap();
+        if let Some(traces) = guard.as_ref() {
+            if let Err(divergence) = verify_spmd(traces) {
+                drop(guard);
+                panic!("{divergence}");
+            }
+        }
     }
 }
 

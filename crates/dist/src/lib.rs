@@ -61,10 +61,13 @@
 
 pub mod collectives;
 mod comm;
+pub mod extras;
 mod grid;
 mod par;
+pub mod trace;
 
 pub use collectives::{alltoallv_counted, record_broadcast, record_p2p, words_of};
 pub use comm::{CommPhase, CommSnapshot, CommStats, PhaseCounters};
 pub use grid::{BlockDist, ProcessGrid};
 pub use par::{par_ranks, par_ranks_mut, with_threads};
+pub use trace::{verify_spmd, CollectiveEvent, CollectiveKind, CollectiveTrace, SpmdDivergence};

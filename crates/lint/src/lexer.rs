@@ -1,0 +1,417 @@
+//! A minimal Rust lexer for the lint passes.
+//!
+//! The rules in this crate are token-level: they never need a parse tree,
+//! but they *do* need to be immune to the classic grep traps — `unwrap` in a
+//! comment, `HashMap` inside a string literal, `//` inside a string, a
+//! lifetime `'a` mistaken for an unterminated char literal.  This lexer
+//! strips comments and turns source text into a flat token stream carrying
+//! line numbers, while separately collecting the `// lint: allow(rule)`
+//! escape-hatch annotations found in line comments.
+//!
+//! It understands exactly as much Rust as the rules need:
+//!
+//! * line comments (including doc comments) and **nested** block comments;
+//! * string literals: `"…"` with escapes, raw `r"…"` / `r#"…"#` with any
+//!   number of `#`s, and their byte (`b"`, `br#"`) forms;
+//! * char literals (`'a'`, `'\n'`, `'\''`) vs lifetimes (`'a`, `'static`);
+//! * identifiers (keywords are just identifiers here), numbers, and
+//!   single-character punctuation.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A string or byte-string literal; [`Token::text`] holds the *contents*
+    /// (without quotes, escapes left as written).
+    Str,
+    /// A numeric literal.
+    Num,
+    /// A char or byte literal.
+    Char,
+    /// A lifetime (`'a`), without the quote.
+    Lifetime,
+    /// A single punctuation character (`(`, `.`, `{`, `&`, …).
+    Punct,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The lexeme text (see [`TokenKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A `// lint: allow(rule)` annotation: suppresses `rule` on the comment's
+/// own line and the line after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowAnnotation {
+    /// The rule slug inside the parentheses (e.g. `hash-iter`).
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The token stream, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Escape-hatch annotations harvested from line comments.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+impl LexedFile {
+    /// True when `rule` is allowed on `line` (annotation on the same line or
+    /// the line directly above).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Lex `source` into tokens and allow-annotations.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer { bytes: source.as_bytes(), pos: 0, line: 1, out: LexedFile::default() }.run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> LexedFile {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokenKind::Punct, (b as char).to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        // Harvest `lint: allow(rule)` (tolerating flexible spacing) from the
+        // comment body; multiple allows in one comment are all recorded.
+        let mut rest = text;
+        while let Some(idx) = rest.find("lint:") {
+            rest = &rest[idx + "lint:".len()..];
+            let trimmed = rest.trim_start();
+            if let Some(after) = trimmed.strip_prefix("allow(") {
+                if let Some(close) = after.find(')') {
+                    self.out
+                        .allows
+                        .push(AllowAnnotation { rule: after[..close].trim().to_string(), line: self.line });
+                }
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => self.line += 1,
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `br"…"`.  Returns false
+    /// when the `r`/`b` at the cursor is just the start of an identifier.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 1;
+        if self.bytes[self.pos] == b'b' && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        match self.peek(ahead) {
+            Some(b'"') if ahead == 1 && self.bytes[self.pos] == b'b' => {
+                // b"…": an escaped (non-raw) byte string.
+                self.pos += 1;
+                self.string();
+                true
+            }
+            Some(b'"') | Some(b'#') if self.bytes[self.pos] == b'r' || ahead == 2 => {
+                self.raw_string(ahead)
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string(&mut self, prefix_len: usize) -> bool {
+        let line = self.line;
+        let mut p = self.pos + prefix_len;
+        let mut hashes = 0usize;
+        while self.bytes.get(p) == Some(&b'#') {
+            hashes += 1;
+            p += 1;
+        }
+        if self.bytes.get(p) != Some(&b'"') {
+            return false; // e.g. the identifier `r#loop` or just `r` — not a string
+        }
+        p += 1;
+        let content_start = p;
+        let closer: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        while p < self.bytes.len() {
+            if self.bytes[p] == b'\n' {
+                self.line += 1;
+            }
+            if self.bytes[p..].starts_with(&closer) {
+                let text =
+                    std::str::from_utf8(&self.bytes[content_start..p]).unwrap_or("").to_string();
+                self.push(TokenKind::Str, text, line);
+                self.pos = p + closer.len();
+                return true;
+            }
+            p += 1;
+        }
+        self.pos = p; // unterminated: consume to EOF
+        true
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        let text = std::str::from_utf8(&self.bytes[start..end]).unwrap_or("").to_string();
+        self.push(TokenKind::Str, text, line);
+        self.pos = end + 1; // closing quote
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // 'X' with X escaped, or multi-byte ('\u{…}'): scan for the closing
+        // quote within a short window; a lifetime has no closing quote.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2; // quote + backslash
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.push(TokenKind::Char, String::new(), line);
+            return;
+        }
+        let is_char = {
+            // 'a' → char; 'a + ident-continue → lifetime ('static, 'a).
+            let next_next = self.peek(2);
+            self.peek(1).is_some() && next_next == Some(b'\'')
+        };
+        if is_char {
+            self.pos += 3;
+            self.push(TokenKind::Char, String::new(), line);
+        } else {
+            self.pos += 1;
+            let start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+        self.push(TokenKind::Ident, text, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        // A fractional part only if the dot is followed by a digit (so `0..n`
+        // lexes as `0`, `.`, `.`, `n`).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+        self.push(TokenKind::Num, text, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_including_nested_blocks() {
+        let src = "let a = 1; // unwrap() here is a trap\n/* outer /* unwrap() */ still comment */ let b;";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_matching() {
+        let src = r#"let s = "HashMap.iter() // not a comment"; let t = 2;"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "t"]);
+        let strs: Vec<_> =
+            lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("HashMap.iter()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_one_token() {
+        let src = "let s = r#\"quote \" inside, unwrap()\"#; done();";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_lex_as_strings() {
+        let ids = idents("let x = b\"unwrap()\"; let y = br#\"keys()\"#; fin();");
+        assert_eq!(ids, ["let", "x", "let", "y", "fin"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()) && ids.contains(&"x".to_string()));
+        let lifetimes: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "a"]);
+    }
+
+    #[test]
+    fn char_literals_including_escapes_and_quotes() {
+        let ids = idents(r"let c = 'x'; let q = '\''; let n = '\n'; end();");
+        assert_eq!(ids, ["let", "c", "let", "q", "let", "n", "end"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\nb";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the 2-line string
+    }
+
+    #[test]
+    fn allow_annotations_are_harvested_with_their_line() {
+        let src = "let a = 1;\n// lint: allow(hash-iter)\nlet b = 2; // lint: allow(unwrap)\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.allows,
+            [
+                AllowAnnotation { rule: "hash-iter".into(), line: 2 },
+                AllowAnnotation { rule: "unwrap".into(), line: 3 },
+            ]
+        );
+        assert!(lexed.is_allowed("hash-iter", 2));
+        assert!(lexed.is_allowed("hash-iter", 3), "annotation covers the next line");
+        assert!(!lexed.is_allowed("hash-iter", 4));
+        assert!(lexed.is_allowed("unwrap", 3));
+    }
+
+    #[test]
+    fn allow_inside_a_string_is_not_an_annotation() {
+        let lexed = lex("let s = \"// lint: allow(unwrap)\";");
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_lex_as_floats() {
+        let toks = lex("for i in 0..n {}").tokens;
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..n must keep both range dots");
+    }
+}

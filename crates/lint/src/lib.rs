@@ -1,0 +1,143 @@
+//! # dibella-lint — token-level determinism and protocol lints
+//!
+//! A self-contained (dependency-free) source analyzer enforcing the
+//! workspace's determinism and communication-accounting conventions, run in
+//! CI as `cargo run -p dibella-lint -- --workspace` before clippy.  Rustc and
+//! clippy cannot see these conventions: they are *semantic* rules about which
+//! crates must be bit-identical, which counters must be attributed to a
+//! `CommPhase`, and where wall-clock time may be read.  See [`rules`] for
+//! the rule table and `DESIGN.md` ("Static analysis and determinism
+//! checking") for the rationale.
+//!
+//! The analyzer is deliberately token-level, not AST-level: a hand-rolled
+//! [`lexer`] strips comments and strings (so `unwrap` in a doc comment is
+//! not a finding), then each rule pass scans the token stream with a few
+//! tokens of context.  False positives are silenced at the offending line
+//! with `// lint: allow(<rule>)` plus a justification; the annotation covers
+//! its own line and the next.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, FileContext, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Lint one in-memory source file (the fixture-test entry point).
+///
+/// `path` is the repo-relative path the file *would* have — rule scoping
+/// (crate membership, `tests/` exemption, the extras registry) is derived
+/// from it exactly as in a workspace scan.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let lexed = lexer::lex(source);
+    let test_spans = rules::test_mod_spans(&lexed.tokens);
+    let ctx = FileContext {
+        path,
+        crate_name: crate_of(path),
+        test_file: is_test_path(path),
+        test_spans,
+    };
+    rules::check_file(&lexed, &ctx)
+}
+
+/// The crate directory name a repo-relative path belongs to (`""` for the
+/// root package's own sources).
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("")
+}
+
+/// True for whole-file test/bench/example code.
+fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/")
+}
+
+/// Lint every `.rs` file under `crates/` and `src/` of the workspace rooted
+/// at `root`.  Vendored shims (`vendor/`) are out of scope: they are
+/// API-compatible stand-ins, not part of the reproduction's own claims.
+///
+/// Returns `(files_checked, violations)` sorted by path and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(lint_source(&rel, &source));
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok((files.len(), violations))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root from a directory inside it (walk up until a
+/// `Cargo.toml` containing `[workspace]` is found).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths_to_crate_dirs() {
+        assert_eq!(crate_of("crates/sparse/src/spgemm.rs"), "sparse");
+        assert_eq!(crate_of("crates/dist/src/extras.rs"), "dist");
+        assert_eq!(crate_of("src/lib.rs"), "");
+    }
+
+    #[test]
+    fn test_paths_are_recognised() {
+        assert!(is_test_path("crates/seq/tests/ingest_peak_memory.rs"));
+        assert!(is_test_path("crates/bench/benches/spgemm.rs"));
+        assert!(!is_test_path("crates/seq/src/stream.rs"));
+    }
+
+    #[test]
+    fn find_workspace_root_walks_up_from_here() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("this crate lives in the workspace");
+        assert!(root.join("crates/lint").is_dir());
+    }
+}

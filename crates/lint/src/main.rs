@@ -1,0 +1,57 @@
+//! CLI: `cargo run -p dibella-lint -- --workspace` (the CI gate), or pass
+//! explicit file paths to lint just those files.
+//!
+//! Exit status 0 means no violations; 1 means violations were printed, one
+//! per line as `path:line: [rule] message`; 2 means usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: dibella-lint --workspace | dibella-lint <file.rs>...");
+        return ExitCode::from(2);
+    }
+
+    let (checked, violations) = if args.iter().any(|a| a == "--workspace") {
+        let cwd = std::env::current_dir().expect("cwd");
+        let Some(root) = dibella_lint::find_workspace_root(&cwd) else {
+            eprintln!("dibella-lint: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match dibella_lint::lint_workspace(&root) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("dibella-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut violations = Vec::new();
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(source) => violations.extend(dibella_lint::lint_source(
+                    &path.replace('\\', "/"),
+                    &source,
+                )),
+                Err(e) => {
+                    eprintln!("dibella-lint: {}: {e}", Path::new(path).display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (args.len(), violations)
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("dibella-lint: {checked} files checked, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        println!("dibella-lint: {checked} files checked, {} violations", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,19 @@
+//! The workspace itself must lint clean — the same check CI runs via
+//! `cargo run -p dibella-lint -- --workspace`, kept as a test so a plain
+//! `cargo test --workspace` also catches new violations.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_zero_lint_violations() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = dibella_lint::find_workspace_root(here).expect("workspace root");
+    let (files, violations) = dibella_lint::lint_workspace(&root).expect("scan workspace");
+    assert!(files > 50, "expected the full workspace, found only {files} files");
+    assert!(
+        violations.is_empty(),
+        "dibella-lint found {} violations:\n{}",
+        violations.len(),
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

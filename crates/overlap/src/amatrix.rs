@@ -35,12 +35,13 @@ pub fn build_a_matrix(
                 if seq.len() < k {
                     continue;
                 }
-                // First occurrence per column within this read.
-                let mut seen: std::collections::HashMap<u32, ()> = std::collections::HashMap::new();
+                // First occurrence per column within this read (membership
+                // only — the set is never iterated, so HashSet is safe here).
+                let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
                 for (pos, kmer) in KmerIter::new(seq, k) {
                     let canon = kmer.canonical();
                     if let Some(col) = table.column_of(&canon.kmer) {
-                        if seen.insert(col, ()).is_none() {
+                        if seen.insert(col) {
                             entries.push((
                                 read_idx,
                                 col as usize,

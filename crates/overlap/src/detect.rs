@@ -185,12 +185,7 @@ enum PairOutcome {
     Dovetail { i: usize, j: usize, edge_ij: OverlapEdge, edge_ji: OverlapEdge },
 }
 
-/// `CommStats` extras key: DP cells evaluated by the alignment stage.
-pub const ALIGNED_CELLS_KEY: &str = "aligned_cells";
-/// `CommStats` extras key: widest adaptive band of any single extension.
-pub const BAND_WIDTH_PEAK_KEY: &str = "band_width_peak";
-/// `CommStats` extras key: extensions stopped early by the x-drop test.
-pub const XDROP_TERMINATIONS_KEY: &str = "xdrop_terminations";
+pub use dibella_dist::extras::{ALIGNED_CELLS_KEY, BAND_WIDTH_PEAK_KEY, XDROP_TERMINATIONS_KEY};
 
 /// Execution counters of one batched alignment run.
 ///

@@ -13,7 +13,7 @@
 use dibella_seq::{windowed_minimizers, DnaSeq, ReadSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minimizer sketching and overlap-calling parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -85,8 +85,9 @@ pub fn minimizer_overlaps(reads: &ReadSet, config: &MinimizerConfig) -> Vec<Mini
         .map(|i| sketch(reads.seq(i), config.k, config.w))
         .collect();
 
-    // Index: minimizer hash -> hits.
-    let mut index: HashMap<u64, Vec<MinimizerHit>> = HashMap::new();
+    // Index: minimizer hash -> hits.  BTreeMap, not HashMap: `values()` below
+    // feeds the pair statistics, so its iteration order must be deterministic.
+    let mut index: BTreeMap<u64, Vec<MinimizerHit>> = BTreeMap::new();
     for (read, sk) in sketches.iter().enumerate() {
         for &(hash, pos, forward) in sk {
             index.entry(hash).or_default().push(MinimizerHit { read: read as u32, pos, forward });
@@ -103,7 +104,7 @@ pub fn minimizer_overlaps(reads: &ReadSet, config: &MinimizerConfig) -> Vec<Mini
         min_a: u32,
         max_a: u32,
     }
-    let mut pairs: HashMap<(u32, u32), PairStat> = HashMap::new();
+    let mut pairs: BTreeMap<(u32, u32), PairStat> = BTreeMap::new();
     for hits in index.values() {
         for (x, a) in hits.iter().enumerate() {
             for b in hits.iter().skip(x + 1) {

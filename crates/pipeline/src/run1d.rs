@@ -44,6 +44,11 @@ pub fn run_dibella_1d(
     let nprocs = config.nprocs.max(1);
     let mut timings = StageTimings::default();
 
+    // Debug builds verify the SPMD collective protocol at the end of the run.
+    if cfg!(debug_assertions) {
+        comm.enable_spmd_trace(nprocs);
+    }
+
     let (table, t_count) = timed(|| count_kmers_distributed(reads, &config.kmer, nprocs, comm));
     timings.count_kmer = t_count;
 
@@ -67,6 +72,8 @@ pub fn run_dibella_1d(
     let ((overlap_matrix, overlap_stats), t_align) =
         timed(|| align_candidates_with(reads, &candidates, &config.overlap, Some(comm)));
     timings.alignment = t_align;
+
+    comm.assert_spmd();
 
     Pipeline1dOutput {
         overlap_matrix,

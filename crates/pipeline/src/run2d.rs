@@ -2,6 +2,10 @@
 
 use crate::config::{CandidateSource, PipelineConfig};
 use crate::timings::{timed, StageTimings};
+use dibella_dist::extras::{
+    CONSENSUS_LENGTH_KEY, FASTQ_DROPPED_LOW_QUALITY_KEY, POA_ALIGNED_BASES_KEY,
+    POA_GRAPH_NODES_KEY,
+};
 use dibella_dist::{par_ranks, CommPhase, CommSnapshot, CommStats, ProcessGrid};
 use dibella_overlap::{
     account_read_exchange_2d, align_candidates_with, build_a_matrix, detect_candidates_2d_with,
@@ -140,7 +144,7 @@ pub fn run_dibella_2d_fastq(
     let comm = CommStats::new();
     let (parsed, read_time) = timed(|| parse_fastq_filtered(fastq, config.min_mean_quality));
     let (reads, filter_stats) = parsed?;
-    comm.bump_extra("fastq_dropped_low_quality", filter_stats.dropped_low_quality as u64);
+    comm.bump_extra(FASTQ_DROPPED_LOW_QUALITY_KEY, filter_stats.dropped_low_quality as u64);
     let mut out = run_dibella_2d_on_reads(&reads, config, &comm);
     out.timings.read_fastq = read_time;
     out.comm = comm.snapshot();
@@ -157,6 +161,7 @@ pub fn run_dibella_2d_on_reads(
     comm: &CommStats,
 ) -> Pipeline2dOutput {
     let grid = ProcessGrid::square_at_most(config.nprocs);
+    enable_spmd_trace_for_debug(comm, grid);
     // CountKmer: two-pass distributed counting with Bloom filtering.  The
     // k-min-mer path indexes sketches instead and skips counting entirely.
     let (table, t_count) = match config.candidate_source {
@@ -185,6 +190,7 @@ pub fn run_dibella_2d_streaming_on_reads(
     comm: &CommStats,
 ) -> Result<Pipeline2dOutput, String> {
     let grid = ProcessGrid::square_at_most(config.nprocs);
+    enable_spmd_trace_for_debug(comm, grid);
     let (table, t_count) = match config.candidate_source {
         CandidateSource::ExactKmer => {
             let (table, t) = timed(|| {
@@ -296,6 +302,11 @@ fn pipeline_from_table(
     timings.consensus = t_consensus;
     account_consensus(&contigs, &consensus, reads, grid, comm);
 
+    // Every debug-build pipeline run doubles as an SPMD protocol check: the
+    // collectives above appended per-rank traces, which must agree rank for
+    // rank (see `dibella_dist::verify_spmd`).  No-op in release builds.
+    comm.assert_spmd();
+
     Pipeline2dOutput {
         tr_summary: TrSummary::from_outcome(&tr, reads.len()),
         consensus_summary: ConsensusSummary::new(&contigs, &consensus),
@@ -314,6 +325,15 @@ fn pipeline_from_table(
             mean_read_length: reads.mean_read_length(),
             a_density,
         },
+    }
+}
+
+/// Switch on SPMD collective tracing for debug builds, so that every
+/// pipeline run (and therefore every test) verifies the collective protocol
+/// invariant at no release-build cost.
+fn enable_spmd_trace_for_debug(comm: &CommStats, grid: ProcessGrid) {
+    if cfg!(debug_assertions) {
+        comm.enable_spmd_trace(grid.nprocs());
     }
 }
 
@@ -350,13 +370,13 @@ fn account_consensus(
         }
     }
     comm.record(CommPhase::Consensus, words, messages);
-    comm.bump_extra("poa_graph_nodes", consensus.iter().map(|c| c.poa_nodes as u64).sum());
+    comm.bump_extra(POA_GRAPH_NODES_KEY, consensus.iter().map(|c| c.poa_nodes as u64).sum());
     comm.bump_extra(
-        "poa_aligned_bases",
+        POA_ALIGNED_BASES_KEY,
         consensus.iter().map(|c| c.aligned_bases as u64).sum(),
     );
     comm.bump_extra(
-        "consensus_length",
+        CONSENSUS_LENGTH_KEY,
         consensus.iter().map(|c| c.consensus.len() as u64).sum(),
     );
 }
@@ -387,6 +407,33 @@ mod tests {
         );
         // The string graph is a fixed point of the reduction rule.
         assert!(remaining_transitive_edges(&out.string_matrix, 60).is_empty());
+    }
+
+    #[test]
+    fn pipeline_collectives_satisfy_the_spmd_protocol() {
+        // Debug-build runs trace every collective per virtual rank; the run
+        // itself asserts the invariant, and this re-checks it explicitly on
+        // the recorded traces (one per rank, none empty on a 2x2 grid).
+        let ds = DatasetSpec::Tiny.generate(46);
+        let comm = CommStats::new();
+        let _ = run_dibella_2d_on_reads(&ds.reads, &tiny_config(4), &comm);
+        let traces = comm.spmd_traces();
+        assert_eq!(traces.len(), 4, "one trace per virtual rank");
+        assert!(traces.iter().all(|t| !t.events.is_empty()));
+        dibella_dist::verify_spmd(&traces).expect("pipeline collectives must be SPMD-consistent");
+
+        // And the verifier is not vacuous: a seeded rank-divergent collective
+        // (what a buggy rank-dependent branch would post) is rejected.
+        comm.trace_event_for_rank(
+            1,
+            CommPhase::Other,
+            dibella_dist::CollectiveKind::Broadcast,
+            4,
+            1,
+        );
+        let err = dibella_dist::verify_spmd(&comm.spmd_traces()).unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert!(err.to_string().contains("rank 1 disagrees with rank 0"));
     }
 
     #[test]

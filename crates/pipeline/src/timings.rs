@@ -89,7 +89,12 @@ impl StageTimings {
 }
 
 /// Time a closure, returning its result and the elapsed seconds.
+///
+/// This is the one sanctioned wall-clock read feeding [`StageTimings`]; the
+/// timings it produces stay out of `CommStats` and bench JSON word counts.
+#[allow(clippy::disallowed_methods)]
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // lint: allow(wall-clock) — StageTimings is the designated timing sink
     let start = Instant::now();
     let out = f();
     (out, as_secs(start.elapsed()))

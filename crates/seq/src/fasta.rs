@@ -192,8 +192,11 @@ pub fn write_fasta(reads: &ReadSet) -> String {
         out.push_str(&rec.name);
         out.push('\n');
         let ascii = rec.seq.to_ascii();
-        for chunk in ascii.as_bytes().chunks(80) {
-            out.push_str(std::str::from_utf8(chunk).unwrap());
+        let bytes = ascii.as_bytes();
+        // `to_ascii` emits only ACGT, so every 80-byte chunk is a char
+        // boundary — slice the source string instead of re-validating UTF-8.
+        for start in (0..bytes.len()).step_by(80) {
+            out.push_str(&ascii[start..(start + 80).min(ascii.len())]);
             out.push('\n');
         }
         if rec.seq.is_empty() {

@@ -24,6 +24,9 @@ use crate::bloom::{BloomFilter, ScalableBloom};
 use crate::fasta::ReadSet;
 use crate::kmer::{Kmer, KmerIter};
 use crate::stream::{IngestBudget, ReadBatch};
+use dibella_dist::extras::{
+    INGEST_BATCH_BYTES_PEAK_KEY, INGEST_RESIDENT_BYTES_PEAK_KEY, INGEST_SUPERSTEPS_KEY,
+};
 use dibella_dist::{alltoallv_counted, par_ranks, BlockDist, CommPhase, CommStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -339,9 +342,9 @@ where
         ));
     }
 
-    stats.max_extra("ingest_supersteps", pass1_steps);
-    stats.max_extra("ingest_batch_bytes_peak", peaks.batch_bytes);
-    stats.max_extra("ingest_resident_bytes_peak", peaks.resident_bytes);
+    stats.max_extra(INGEST_SUPERSTEPS_KEY, pass1_steps);
+    stats.max_extra(INGEST_BATCH_BYTES_PEAK_KEY, peaks.batch_bytes);
+    stats.max_extra(INGEST_RESIDENT_BYTES_PEAK_KEY, peaks.resident_bytes);
 
     // Owners partition the k-mer space by hash, so the per-owner count maps
     // are disjoint and merging is a plain union.

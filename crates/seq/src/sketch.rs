@@ -57,7 +57,8 @@ pub fn windowed_minimizers(seq: &DnaSeq, k: usize, w: usize) -> Vec<MinimizerPos
         return out;
     }
     for window in hashes.windows(w) {
-        let min = window.iter().min_by_key(|(h, _, _)| *h).unwrap();
+        // `windows(w)` with w >= 1 never yields an empty slice.
+        let Some(min) = window.iter().min_by_key(|(h, _, _)| *h) else { continue };
         if out.last().is_none_or(|last| last.1 != min.1) {
             out.push(*min);
         }

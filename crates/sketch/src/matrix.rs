@@ -30,21 +30,10 @@ use dibella_overlap::KmerOccurrence;
 use dibella_seq::ReadSet;
 use dibella_sparse::{DistMat2D, Triples};
 
-/// `CommStats::extras` key: nonzeros of the sketch matrix.
-pub const SKETCH_NNZ_KEY: &str = "sketch_nnz";
-/// `CommStats::extras` key: number of k-min-mer columns.
-pub const SKETCH_COLUMNS_KEY: &str = "sketch_columns";
-/// `CommStats::extras` key: achieved minimizer density in parts per million.
-pub const SKETCH_DENSITY_PPM_KEY: &str = "sketch_density_ppm";
-/// `CommStats::extras` key: HPC compression ratio (raw/compressed bases) in
-/// parts per million.
-pub const SKETCH_HPC_RATIO_PPM_KEY: &str = "sketch_hpc_ratio_ppm";
-/// `CommStats::extras` key: k-min-mers dropped for occurring in fewer than
-/// `min_reads` reads.
-pub const SKETCH_DROPPED_RARE_KEY: &str = "sketch_dropped_rare";
-/// `CommStats::extras` key: k-min-mers masked as repetitive
-/// (more than `max_reads` reads).
-pub const SKETCH_DROPPED_REPETITIVE_KEY: &str = "sketch_dropped_repetitive";
+pub use dibella_dist::extras::{
+    SKETCH_COLUMNS_KEY, SKETCH_DENSITY_PPM_KEY, SKETCH_DROPPED_RARE_KEY,
+    SKETCH_DROPPED_REPETITIVE_KEY, SKETCH_HPC_RATIO_PPM_KEY, SKETCH_NNZ_KEY,
+};
 
 /// Size and selectivity counters of one sketch-matrix build.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -145,7 +134,9 @@ pub fn build_sketch_matrix(
     // Owners count reads per key and apply the occurrence filter.
     let mut survivors: Vec<u64> = Vec::new();
     for keys in &recv {
-        let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: the dropped_rare/dropped_repetitive tallies
+        // below iterate this map, so its order must be deterministic.
+        let mut counts: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
         for &key in keys {
             *counts.entry(key).or_insert(0) += 1;
         }

@@ -459,6 +459,7 @@ pub fn local_spgemm_baseline<S: Semiring>(
                 }
             }
         }
+        // lint: allow(hash-iter) — order restored by the sort on the next line
         let mut row: Vec<(usize, S::Out)> = acc.into_iter().collect();
         row.sort_unstable_by_key(|(j, _)| *j);
         rows.push(row);

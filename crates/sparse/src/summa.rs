@@ -39,21 +39,7 @@ use dibella_dist::{par_ranks, words_of, CommPhase, CommStats};
 /// pairs handed to the accumulate-in-place block multiply at once.
 type StagePairs<'a, L, R> = Vec<(&'a CsrMatrix<L>, &'a CsrMatrix<R>)>;
 
-/// The `CommStats::extras` key carrying useful SpGEMM flops for `phase`.
-pub fn flops_key(phase: CommPhase) -> String {
-    format!("spgemm_flops_{}", phase.name())
-}
-
-/// The `CommStats::extras` key carrying accumulator probes for `phase`.
-pub fn probes_key(phase: CommPhase) -> String {
-    format!("spgemm_probes_{}", phase.name())
-}
-
-/// The `CommStats::extras` key carrying the peak accumulated row width for
-/// `phase` (a maximum, not a sum).
-pub fn peak_row_width_key(phase: CommPhase) -> String {
-    format!("spgemm_peak_row_width_{}", phase.name())
-}
+pub use dibella_dist::extras::{flops_key, peak_row_width_key, probes_key, SUMMA_STAGES_KEY};
 
 /// Fold a finished SpGEMM's [`FlopCounter`] into `stats` under `phase`.
 fn record_flops(stats: &CommStats, phase: CommPhase, flops: &FlopCounter) {
@@ -122,7 +108,7 @@ pub fn summa_with_words<S: Semiring>(
             record_broadcast(stats, phase, words, grid.rows());
         }
     }
-    stats.bump_extra("summa_stages", stages as u64);
+    stats.bump_extra(SUMMA_STAGES_KEY, stages as u64);
 
     // Owner-computes: every rank hands its sqrt(P) stage pairs to one
     // accumulate-in-place block multiply.  Ranks run in parallel; inside each
@@ -218,7 +204,7 @@ pub fn summa_abt_with_words<S: Semiring>(
             record_broadcast(stats, phase, words, grid.rows());
         }
     }
-    stats.bump_extra("summa_stages", stages as u64);
+    stats.bump_extra(SUMMA_STAGES_KEY, stages as u64);
 
     // Convert each B block to column-major form exactly once, shared by
     // every rank in the block's grid column.  A contiguous local transpose
@@ -327,7 +313,7 @@ pub fn summa_aat_sym_with_words<S: MirrorSemiring>(
             record_broadcast(stats, phase, words, i + 1);
         }
     }
-    stats.bump_extra("summa_stages", stages as u64);
+    stats.bump_extra(SUMMA_STAGES_KEY, stages as u64);
 
     // Column-major form of every block of A, shared by all consumers (the
     // same local conversion summa_abt performs).

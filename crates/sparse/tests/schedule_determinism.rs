@@ -1,0 +1,55 @@
+//! Re-pins the SpGEMM determinism claim under adversarial steal schedules.
+//!
+//! `spgemm_stages` accumulates every output row in place across stages on the
+//! work-stealing pool; its claim is bit-identical output for every thread
+//! count *and every chunk-claim order*.  The 1/2/4-thread sweeps elsewhere
+//! leave the claim order to the OS; here the schedule explorer enumerates all
+//! 3-/4-chunk permutations (and seeded large shuffles on the randomized CI
+//! preset) with yield points injected before every claim.
+
+use dibella_sparse::{
+    spgemm::spgemm_stages, AccumPolicy, CsrMatrix, FlopCounter, PlusTimes, Triples,
+};
+use dibella_testutil::{assert_schedule_determinism, SchedulePreset};
+
+/// A deterministic pseudo-random CSR matrix (LCG-filled, duplicate-free).
+fn random_csr(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> CsrMatrix<u64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    let mut triples = Triples::new(nrows, ncols);
+    while seen.len() < nnz.min(nrows * ncols) {
+        let r = (next() % nrows as u64) as usize;
+        let c = (next() % ncols as u64) as usize;
+        if seen.insert((r, c)) {
+            triples.push(r, c, next() % 97 + 1);
+        }
+    }
+    CsrMatrix::from_triples(&triples)
+}
+
+#[test]
+fn spgemm_stages_is_bit_identical_under_adversarial_schedules() {
+    // Two stages with skewed shapes, as a 2-stage SUMMA rank would see.
+    let a1 = random_csr(96, 48, 700, 1);
+    let b1 = random_csr(48, 80, 500, 2);
+    let a2 = random_csr(96, 48, 350, 3);
+    let b2 = random_csr(48, 80, 900, 4);
+
+    let explored = assert_schedule_determinism(SchedulePreset::from_env(), || {
+        let flops = FlopCounter::new();
+        let out = spgemm_stages::<PlusTimes<u64>, _>(
+            96,
+            80,
+            &[(&a1, &b1), (&a2, &b2)],
+            AccumPolicy::Auto,
+            &flops,
+        );
+        // The counters are part of the determinism claim too.
+        (out, flops.flops(), flops.probes(), flops.peak_row_width())
+    });
+    assert!(explored >= 30, "expected at least the exhaustive-small preset");
+}

@@ -512,6 +512,7 @@ fn walk_orientations(contig: &Contig, s: &CsrMatrix<OverlapEdge>) -> Vec<bool> {
     for pair in reads.windows(2) {
         let edge = s
             .get(pair[0], pair[1])
+            // lint: allow(unwrap) — extract_contigs only emits edges present in S
             .expect("contig layouts walk existing string-graph edges");
         let dir = edge.direction();
         if orientations.is_empty() {
@@ -554,6 +555,7 @@ pub fn consensus_contig(
     for (step, &orientation) in orientations.iter().enumerate().skip(1) {
         let edge = s
             .get(contig.reads[step - 1], contig.reads[step])
+            // lint: allow(unwrap) — extract_contigs only emits edges present in S
             .expect("contig layouts walk existing string-graph edges");
         let seq = oriented(step, orientation);
         aligned_bases += seq.len();

@@ -36,6 +36,7 @@ pub fn myers_transitive_reduction(
             continue;
         }
         neighbors.sort_by_key(|(_, e)| e.suffix);
+        // lint: allow(unwrap) — guarded by the is_empty() continue above
         let longest = neighbors.last().unwrap().1.suffix.saturating_add(fuzz);
         for (w, _) in &neighbors {
             mark[*w] = Mark::InPlay;

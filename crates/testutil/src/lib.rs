@@ -34,6 +34,10 @@
 
 #![warn(missing_docs)]
 
+pub mod schedule;
+
+pub use schedule::{assert_schedule_determinism, ExploredSchedule, SchedulePreset};
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

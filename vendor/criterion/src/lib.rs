@@ -137,6 +137,9 @@ pub struct Bencher {
 impl Bencher {
     /// Run `f` repeatedly until the measurement budget is spent, recording
     /// one sample per call.
+    // A bench harness is by definition a wall-clock consumer (clippy.toml
+    // bans Instant::now elsewhere in the workspace).
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up (not recorded).
         black_box(f());

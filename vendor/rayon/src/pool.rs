@@ -33,6 +33,124 @@ static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Explicit per-context worker-count pin, propagated into spawned workers.
     static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Active steal-order schedule override, propagated into spawned workers.
+    static STEAL_SCHEDULE: Cell<Option<StealSchedule>> = const { Cell::new(None) };
+}
+
+/// How a [`StealSchedule`] derives its chunk-claim order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealOrder {
+    /// Ascending chunk order — the production claim order, but at the
+    /// schedule's fixed chunk count.
+    Natural,
+    /// The `index`-th permutation of the chunk order in lexicographic
+    /// (Lehmer-code) enumeration; indices wrap modulo `chunks!`, so
+    /// `0..chunks!` enumerates every permutation exactly once.
+    Permutation(u64),
+    /// A seeded Fisher–Yates shuffle of the chunk order (for randomized
+    /// exploration at chunk counts too large to enumerate).
+    Shuffled(u64),
+}
+
+/// A deterministic adversarial schedule for the pool's chunk-claim order.
+///
+/// Production runs split `0..n` into heuristic-sized chunks claimed in
+/// ascending order; which *worker* claims which chunk is decided by the OS
+/// scheduler, and the pool's determinism claim is that the output is
+/// bit-identical regardless.  A `StealSchedule` makes that claim testable by
+/// pinning everything the OS normally decides implicitly: the loop is split
+/// into **exactly** `min(n, chunks)` near-equal chunks and workers claim them
+/// in a chosen permutation of the natural order, optionally yielding before
+/// every claim so the OS is invited to interleave workers adversarially.
+/// Because the permutation is data-independent, an explorer can enumerate all
+/// `chunks!` orders exhaustively at small chunk counts and sample seeded
+/// shuffles at large ones (see `dibella-testutil`'s schedule explorer).
+///
+/// Activate with [`with_steal_schedule`]; the schedule propagates into nested
+/// parallel loops and spawned workers like the thread-limit pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealSchedule {
+    /// Split every parallel loop into exactly `min(n, chunks)` chunks.
+    pub chunks: usize,
+    /// The chunk-claim order.
+    pub order: StealOrder,
+    /// Call `std::thread::yield_now()` before every chunk claim, inviting the
+    /// OS to reorder workers between claims.
+    pub yield_before_claim: bool,
+}
+
+impl StealSchedule {
+    /// The `permutation`-th of the `chunks!` exhaustive claim orders, with
+    /// yield injection on.
+    pub fn exhaustive(chunks: usize, permutation: u64) -> Self {
+        StealSchedule { chunks, order: StealOrder::Permutation(permutation), yield_before_claim: true }
+    }
+
+    /// A seeded random claim order at `chunks` chunks, with yield injection on.
+    pub fn randomized(chunks: usize, seed: u64) -> Self {
+        StealSchedule { chunks, order: StealOrder::Shuffled(seed), yield_before_claim: true }
+    }
+
+    /// The claim order for a loop that was split into `k` chunks: a
+    /// permutation of `0..k` (deterministic in the schedule alone).
+    fn claim_order(&self, k: usize) -> Vec<usize> {
+        match self.order {
+            StealOrder::Natural => (0..k).collect(),
+            StealOrder::Permutation(index) => {
+                // Decode the factorial-base (Lehmer) digits of `index mod k!`,
+                // least-significant first, then pick from the remaining pool.
+                let mut digits = vec![0usize; k];
+                let mut rest = index;
+                for i in 1..=k {
+                    digits[k - i] = (rest % i as u64) as usize;
+                    rest /= i as u64;
+                }
+                let mut pool: Vec<usize> = (0..k).collect();
+                digits.into_iter().map(|d| pool.remove(d)).collect()
+            }
+            StealOrder::Shuffled(seed) => {
+                let mut state = seed;
+                let mut order: Vec<usize> = (0..k).collect();
+                for i in (1..k).rev() {
+                    let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                order
+            }
+        }
+    }
+}
+
+/// SplitMix64 step — the classic seed-expansion generator (public domain,
+/// Steele et al.); self-contained so the shim needs no `rand` dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The steal schedule parallel loops in this context will run under, if any.
+pub fn current_steal_schedule() -> Option<StealSchedule> {
+    STEAL_SCHEDULE.with(|c| c.get())
+}
+
+/// Run `body` with every contained parallel loop claiming chunks in
+/// `schedule`'s order (propagated into nested loops and spawned workers,
+/// restored afterwards — the same discipline as [`with_thread_limit`]).
+pub fn with_steal_schedule<T>(schedule: StealSchedule, body: impl FnOnce() -> T) -> T {
+    struct Restore(Option<StealSchedule>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            STEAL_SCHEDULE.with(|c| c.set(prev));
+        }
+    }
+    let prev = STEAL_SCHEDULE.with(|c| c.replace(Some(schedule)));
+    let _restore = Restore(prev);
+    body()
 }
 
 /// Number of hardware threads (1 if it cannot be determined).
@@ -122,19 +240,48 @@ pub fn for_each_index<St>(
     let limit = current_thread_limit().min(n);
     let explicit = THREAD_LIMIT.with(|c| c.get()).is_some();
     let lease = WorkerLease(reserve_extra_workers(limit - 1, explicit));
-
-    // Chunks small enough for stealing to balance skewed rows, large enough
-    // to amortise the claim; sequential fallback uses one maximal chunk.
     let workers = lease.0 + 1;
-    let chunk = if workers == 1 { n } else { (n / (workers * 8)).clamp(1, 1024) };
+    let schedule = current_steal_schedule();
+
+    // Chunk geometry.  Production: chunks small enough for stealing to
+    // balance skewed rows, large enough to amortise the claim (sequential
+    // fallback uses one maximal chunk).  Under a steal schedule: exactly
+    // `min(n, chunks)` near-equal chunks, claimed in the schedule's
+    // permutation — workers grab claim *ordinals* from the cursor and the
+    // permutation maps each ordinal to a chunk.
+    let (nchunks, chunk, order): (usize, usize, Option<Vec<usize>>) = match schedule {
+        Some(sched) => {
+            let k = sched.chunks.clamp(1, n);
+            (k, 0, Some(sched.claim_order(k)))
+        }
+        None => {
+            let chunk = if workers == 1 { n } else { (n / (workers * 8)).clamp(1, 1024) };
+            (n.div_ceil(chunk), chunk, None)
+        }
+    };
+    let yield_before_claim = schedule.is_some_and(|s| s.yield_before_claim);
     let cursor = AtomicUsize::new(0);
 
     let work = |state: &mut Option<St>| loop {
-        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-        if start >= n {
+        if yield_before_claim {
+            std::thread::yield_now();
+        }
+        let ordinal = cursor.fetch_add(1, Ordering::Relaxed);
+        if ordinal >= nchunks {
             break;
         }
-        let end = (start + chunk).min(n);
+        let (start, end) = match &order {
+            // Scheduled: balanced split so all `nchunks` chunks are nonempty
+            // (exhaustive permutation enumeration stays genuinely exhaustive).
+            Some(order) => {
+                let c = order[ordinal];
+                (c * n / nchunks, (c + 1) * n / nchunks)
+            }
+            None => {
+                let start = ordinal * chunk;
+                (start, (start + chunk).min(n))
+            }
+        };
         let st = state.get_or_insert_with(&init);
         for i in start..end {
             body(st, i);
@@ -152,6 +299,9 @@ pub fn for_each_index<St>(
             scope.spawn(move || {
                 if let Some(pin) = pin {
                     THREAD_LIMIT.with(|c| c.set(Some(pin)));
+                }
+                if let Some(sched) = schedule {
+                    STEAL_SCHEDULE.with(|c| c.set(Some(sched)));
                 }
                 work(&mut None);
             });
@@ -229,10 +379,14 @@ where
     if lease.0 == 0 {
         return (a(), b());
     }
+    let schedule = current_steal_schedule();
     std::thread::scope(|scope| {
         let ha = scope.spawn(move || {
             if let Some(pin) = pin {
                 THREAD_LIMIT.with(|c| c.set(Some(pin)));
+            }
+            if let Some(sched) = schedule {
+                STEAL_SCHEDULE.with(|c| c.set(Some(sched)));
             }
             a()
         });
@@ -410,6 +564,103 @@ mod tests {
         for_each_index(0, || unreachable!("no state needed"), |_: &mut (), _| {});
         assert!(map_indexed(0, |i| i).is_empty());
         for_each_mut::<u8>(&mut [], |_, _| unreachable!());
+    }
+
+    #[test]
+    fn lehmer_permutations_enumerate_every_order_exactly_once() {
+        // 4 chunks: indices 0..24 must decode to 24 distinct permutations,
+        // index 0 to the natural order, and indices wrap modulo 4!.
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        for index in 0..24 {
+            let order = StealSchedule::exhaustive(4, index).claim_order(4);
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "index {index} is not a permutation");
+            assert!(!seen.contains(&order), "index {index} repeats {order:?}");
+            seen.push(order);
+        }
+        assert_eq!(seen[0], vec![0, 1, 2, 3]);
+        assert_eq!(StealSchedule::exhaustive(4, 25).claim_order(4), seen[1]);
+    }
+
+    #[test]
+    fn shuffled_orders_are_seed_deterministic_permutations() {
+        let a = StealSchedule::randomized(16, 7).claim_order(16);
+        let b = StealSchedule::randomized(16, 7).claim_order(16);
+        let c = StealSchedule::randomized(16, 8).claim_order(16);
+        assert_eq!(a, b, "same seed must give the same order");
+        assert_ne!(a, c, "different seeds should give different orders");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduled_loops_visit_every_index_once_in_the_permuted_order() {
+        for index in 0..6 {
+            // Sequential (1 worker) so the observed visit order is exactly the
+            // claim order: chunk boundaries at thirds of 0..9.
+            let sched = StealSchedule::exhaustive(3, index);
+            let visited = std::sync::Mutex::new(Vec::new());
+            with_thread_limit(1, || {
+                with_steal_schedule(sched, || {
+                    for_each_index(9, || (), |(), i| visited.lock().unwrap().push(i));
+                });
+            });
+            let visited = visited.into_inner().unwrap();
+            let expected: Vec<usize> = sched
+                .claim_order(3)
+                .into_iter()
+                .flat_map(|c| (c * 3)..(c * 3 + 3))
+                .collect();
+            assert_eq!(visited, expected, "permutation index {index}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_is_bit_identical_under_adversarial_schedules() {
+        let want: Vec<usize> = (0..101).map(|i| i * 3 + 1).collect();
+        for threads in [2usize, 4] {
+            for index in 0..24 {
+                let got = with_thread_limit(threads, || {
+                    with_steal_schedule(StealSchedule::exhaustive(4, index), || {
+                        map_indexed(101, |i| i * 3 + 1)
+                    })
+                });
+                assert_eq!(got, want, "threads={threads} permutation={index}");
+            }
+            for seed in 0..8 {
+                let got = with_thread_limit(threads, || {
+                    with_steal_schedule(StealSchedule::randomized(16, seed), || {
+                        map_indexed(101, |i| i * 3 + 1)
+                    })
+                });
+                assert_eq!(got, want, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn steal_schedule_propagates_into_workers_and_restores() {
+        let sched = StealSchedule::randomized(8, 3);
+        assert_eq!(current_steal_schedule(), None);
+        let observed = with_steal_schedule(sched, || {
+            with_thread_limit(3, || map_indexed(8, |_| current_steal_schedule()))
+        });
+        assert_eq!(observed, vec![Some(sched); 8]);
+        assert_eq!(current_steal_schedule(), None, "schedule must restore on exit");
+    }
+
+    #[test]
+    fn more_chunks_than_items_degrades_to_one_item_chunks() {
+        let visited = std::sync::Mutex::new(Vec::new());
+        with_thread_limit(1, || {
+            with_steal_schedule(StealSchedule::exhaustive(64, 0), || {
+                for_each_index(5, || (), |(), i| visited.lock().unwrap().push(i));
+            });
+        });
+        assert_eq!(visited.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
